@@ -1,0 +1,114 @@
+// Command insitu-train runs the Cloud side of the bootstrap offline: it
+// pre-trains the unsupervised jigsaw network on synthetic raw IoT data,
+// transfer-learns the inference network, calibrates a diagnosis
+// threshold and writes a deployable model bundle:
+//
+//	insitu-train -out model.isdp -classes 5 -images 256 -steps 150
+//
+// The bundle can be inspected or re-verified with -check:
+//
+//	insitu-train -check model.isdp -classes 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"insitu/internal/dataset"
+	"insitu/internal/deploy"
+	"insitu/internal/diagnosis"
+	"insitu/internal/jigsaw"
+	"insitu/internal/models"
+	"insitu/internal/tensor"
+	"insitu/internal/train"
+	"insitu/internal/transfer"
+)
+
+func main() {
+	out := flag.String("out", "model.isdp", "output bundle path")
+	check := flag.String("check", "", "verify an existing bundle instead of training")
+	classes := flag.Int("classes", 5, "object classes")
+	perms := flag.Int("perms", 8, "jigsaw permutation classes")
+	images := flag.Int("images", 256, "raw training images")
+	steps := flag.Int("steps", 150, "training steps per phase")
+	seed := flag.Uint64("seed", 42, "seed")
+	flag.Parse()
+
+	if *check != "" {
+		verify(*check, *classes, *perms, *seed)
+		return
+	}
+
+	world := dataset.NewGenerator(*classes, *seed)
+	permSet := jigsaw.NewPermSet(*perms, *seed+1)
+	jigNet := jigsaw.NewNet(*perms, *seed+2)
+	trainer := jigsaw.NewTrainer(jigNet, permSet, 0.01, *seed+3)
+
+	fmt.Fprintf(os.Stderr, "pre-training jigsaw net on %d unlabeled images (%d steps)...\n", *images, *steps)
+	pool := world.MixedSet(*images, 0.5, 0.6)
+	imgs := make([]*tensor.Tensor, len(pool))
+	for i := range pool {
+		imgs[i] = pool[i].Image
+	}
+	for step := 0; step < *steps; step++ {
+		i0 := (step * 16) % len(imgs)
+		end := i0 + 16
+		if end > len(imgs) {
+			end = len(imgs)
+		}
+		trainer.Step(imgs[i0:end])
+	}
+	fmt.Fprintf(os.Stderr, "jigsaw task accuracy: %.3f\n", trainer.Evaluate(imgs[:64]))
+
+	fmt.Fprintf(os.Stderr, "transfer learning inference net (%d labels)...\n", len(pool))
+	inference := models.TinyAlex(*classes, *seed+4)
+	if _, err := transfer.FromUnsupervised(inference, jigNet, 3); err != nil {
+		fatal(err)
+	}
+	train.Run(inference, pool, train.DefaultConfig(*steps), 0)
+	acc := train.Evaluate(inference, world.MixedSet(200, 0.5, 0.6))
+	fmt.Fprintf(os.Stderr, "inference accuracy: %.3f\n", acc)
+
+	diag := diagnosis.NewJigsawDiagnoser(jigNet, permSet, 3, *seed+5)
+	diagnosis.Calibrate(diag, pool, 1.2*(1-acc)+0.05)
+
+	bundle, err := deploy.Pack(1, inference, jigNet, diag.Threshold())
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := bundle.Encode(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: version %d, threshold %.3f, %d bytes\n",
+		*out, bundle.Version, bundle.Threshold, bundle.Size())
+}
+
+func verify(path string, classes, perms int, seed uint64) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	bundle, err := deploy.Decode(f)
+	if err != nil {
+		fatal(fmt.Errorf("bundle invalid: %w", err))
+	}
+	inference := models.TinyAlex(classes, seed)
+	jigNet := jigsaw.NewNet(perms, seed)
+	if err := bundle.Apply(inference, jigNet, nil); err != nil {
+		fatal(fmt.Errorf("bundle does not fit the declared architecture: %w", err))
+	}
+	fmt.Printf("%s OK: version %d, threshold %.3f, %d bytes, weights load cleanly\n",
+		path, bundle.Version, bundle.Threshold, bundle.Size())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "insitu-train:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+// Single-running mode planning: the analytical time and resource models.
+//
+// A smart-farming node only needs inference during the day, so the
+// diagnosis task runs at night on the same mobile GPU (Single-running
+// mode). This example walks the paper's §IV-B1 models: the time model
+// picks the inference batch for several end-user latency requirements,
+// the resource model (eq. 9) bounds the diagnosis batch by device
+// memory, and both are checked against the brute-force oracle.
+//
+//	go run ./examples/planner
+package main
+
+import (
+	"fmt"
+
+	"insitu/internal/device"
+	"insitu/internal/gpusim"
+	"insitu/internal/models"
+	"insitu/internal/planner"
+)
+
+func main() {
+	sim := gpusim.New(device.TX1())
+	inf := models.AlexNet()
+	diag := models.DiagnosisSpec(inf, 100)
+
+	rec := planner.RecommendMode(false)
+	fmt.Printf("mode recommendation: %s — %s\n\n", rec.Platform, rec.Reason)
+
+	fmt.Println("time model: optimal inference batch per latency requirement")
+	fmt.Println("req (ms)   batch  latency (ms)  img/s   img/s/W  speedup-vs-B1  oracle")
+	for _, treq := range []float64{0.033, 0.05, 0.1, 0.2, 0.5, 1.0} {
+		plan := planner.PlanSingleRunning(sim, inf, diag, treq, 256)
+		if !plan.InferenceFeasible {
+			fmt.Printf("%8.0f   cannot meet the requirement\n", treq*1e3)
+			continue
+		}
+		b := plan.InferenceBatch
+		res := sim.NetTime(inf, b)
+		oracle, _ := planner.BruteForceBest(sim, inf, treq, 256)
+		fmt.Printf("%8.0f   %5d  %12.1f  %6.1f  %7.2f  %12.2fx  B=%d\n",
+			treq*1e3, b, res.Latency()*1e3, res.Throughput(),
+			sim.PerfPerWatt(inf, b),
+			planner.SpeedupOverNonBatch(sim, inf, treq, 256), oracle)
+	}
+
+	// Resource model for the overnight diagnosis task.
+	plan := planner.PlanSingleRunning(sim, inf, diag, 0.1, 4096)
+	fmt.Printf("\nresource model (eq. 9): diagnosis batch bounded by %d MB memory -> B=%d\n",
+		device.TX1().MemCapacity>>20, plan.DiagnosisBatch)
+	fmt.Printf("memory at that batch: %.0f MB\n",
+		float64(gpusim.MemoryUse(diag, plan.DiagnosisBatch))/1e6)
+}

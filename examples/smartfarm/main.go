@@ -1,0 +1,55 @@
+// Smart farming: Single-running mode as a live day/night node.
+//
+// A crop-monitoring node only needs inference while the farm operates;
+// at night the same mobile GPU runs the diagnosis task over the day's
+// captures (the paper's Single-running working mode). This example runs
+// the event-driven node runtime for one day/night cycle, comparing the
+// naive non-batching deployment against the time-model-planned one —
+// same frames, same deadlines, different energy.
+//
+//	go run ./examples/smartfarm
+package main
+
+import (
+	"fmt"
+
+	"insitu/internal/device"
+	"insitu/internal/gpusim"
+	"insitu/internal/models"
+	"insitu/internal/node"
+)
+
+func main() {
+	inf := models.AlexNet()
+	cfg := node.Config{
+		Sim:          gpusim.New(device.TX1()),
+		Inference:    inf,
+		Diagnosis:    models.DiagnosisSpec(inf, 100),
+		FrameRate:    60,   // two 30 FPS field cameras
+		LatencyReq:   0.25, // alerts within 250 ms
+		DaySeconds:   600,  // 10-minute slice of the working day
+		NightSeconds: 600,
+	}
+
+	fmt.Println("smart-farm node, one day/night cycle (10 min day, 10 min night):")
+	fmt.Println()
+	fmt.Printf("%-22s %8s %8s %9s %10s %10s %9s\n",
+		"deployment", "batch", "misses", "avg lat", "GPU busy", "energy", "backlog")
+	run := func(name string, batch int) node.Report {
+		c := cfg
+		c.InferenceBatch = batch
+		r := node.Run(c)
+		fmt.Printf("%-22s %8d %8d %8.0fms %9.1fs %9.0fJ %9d\n",
+			name, r.InferenceBatchN, r.DeadlineMisses, r.AvgLatency*1e3,
+			r.InferenceBusy+r.DiagnosisBusy, r.EnergyJ, r.Backlog)
+		return r
+	}
+	naive := run("non-batching", 1)
+	planned := run("time-model planned", 0)
+
+	saved := 1 - planned.EnergyJ/naive.EnergyJ
+	fmt.Printf("\nthe planned configuration serves the same %d frames with %.0f%% less energy\n",
+		planned.Frames, saved*100)
+	fmt.Printf("night window diagnosed %d captures (batch %d via the eq. 9 resource model)\n",
+		planned.DiagnosedFrames, planned.DiagnosisBatchN)
+}

@@ -1,0 +1,72 @@
+// Video surveillance: Co-running mode on the FPGA.
+//
+// A 24/7 surveillance camera cannot pause its inference task, so the
+// diagnosis task must co-run (paper §IV). This example sizes the
+// two-level weight-shared WSS+NWS pipeline for a 20 FPS camera (50 ms
+// latency requirement — the FCN weight-streaming floor makes 30 FPS
+// infeasible on this board, exactly where the paper's Fig. 23 sweep
+// starts), compares it with the NWS/WS baselines, and shows
+// the eq. (14) configuration search in action.
+//
+//	go run ./examples/surveillance
+package main
+
+import (
+	"fmt"
+
+	"insitu/internal/device"
+	"insitu/internal/fpgasim"
+	"insitu/internal/gpusim"
+	"insitu/internal/models"
+	"insitu/internal/planner"
+)
+
+func main() {
+	// Why not the GPU? The paper's Fig. 16: co-running interference.
+	rec := planner.RecommendMode(true)
+	fmt.Printf("mode recommendation for a 24/7 camera: %s — %s\n\n", rec.Platform, rec.Reason)
+
+	g := gpusim.New(device.TX1())
+	inf := models.AlexNet()
+	diag := models.DiagnosisSpec(inf, 100)
+	solo := g.NetTime(inf, 1).TotalTime()
+	co := g.CoRunInferenceLatency(inf, diag, 1, gpusim.DefaultInterference())
+	fmt.Printf("GPU co-running check: %.1f ms solo -> %.1f ms co-running (%.1fx slowdown)\n\n",
+		solo*1e3, co*1e3, co/solo)
+
+	// Size the FPGA pipeline for 20 FPS.
+	spec := device.VX690T()
+	w := fpgasim.NewCoRunWorkload(inf)
+	const requirement = 0.05 // 50 ms for 20 FPS
+	fmt.Printf("FPGA pipeline plans under a %.1f ms requirement (%d DSP slices):\n",
+		requirement*1e3, spec.DSPSlices)
+	for _, arch := range []fpgasim.ConvArch{
+		fpgasim.ArchNWS, fpgasim.ArchNWSBatch, fpgasim.ArchWS, fpgasim.ArchWSSNWS,
+	} {
+		p, err := fpgasim.NewPipeline(spec, arch, w, 3)
+		if err != nil {
+			panic(err)
+		}
+		plan := p.MaxThroughputUnderLatency(requirement, 256)
+		if plan.Feasible {
+			fmt.Printf("  %-9s  B=%-3d  %.1f img/s at %.1f ms\n",
+				arch, plan.Bsize, plan.Throughput, plan.Latency*1e3)
+		} else {
+			fmt.Printf("  %-9s  cannot meet the requirement\n", arch)
+		}
+	}
+
+	// The deployed configuration.
+	plan, err := planner.PlanCoRunning(spec, w, 3, requirement)
+	if err != nil {
+		panic(err)
+	}
+	if !plan.Result.Feasible {
+		fmt.Println("\nno feasible co-running configuration — fall back to Single-running mode")
+		return
+	}
+	fmt.Printf("\ndeploying %s with FCN batch %d: every frame gets inference AND diagnosis\n",
+		plan.Arch, plan.Result.Bsize)
+	fmt.Printf("sustained: %.0f img/s — the camera needs 20, leaving headroom for %d extra sensors\n",
+		plan.Result.Throughput, int(plan.Result.Throughput/20)-1)
+}

@@ -1,0 +1,115 @@
+package cloud
+
+import (
+	"testing"
+
+	"insitu/internal/models"
+)
+
+func TestUpdateCostScalesWithSamples(t *testing.T) {
+	m := NewCostModel()
+	spec := models.AlexNet()
+	c1 := m.UpdateCost(spec, 1000, 0)
+	c2 := m.UpdateCost(spec, 2000, 0)
+	if c2.Seconds <= c1.Seconds || c2.Joules <= c1.Joules {
+		t.Fatal("cost should grow with samples")
+	}
+	ratio := c2.Seconds / c1.Seconds
+	if ratio < 1.99 || ratio > 2.01 {
+		t.Fatalf("cost not linear in samples: ratio %v", ratio)
+	}
+}
+
+func TestWeightSharingCutsUpdateCost(t *testing.T) {
+	m := NewCostModel()
+	spec := models.AlexNet()
+	full := m.UpdateCost(spec, 1000, 0)
+	shared := m.UpdateCost(spec, 1000, 3)
+	if shared.Seconds >= full.Seconds {
+		t.Fatal("locking layers should cut cost")
+	}
+	speedup := full.Seconds / shared.Seconds
+	// Fig. 6 ballpark: ~1.3–1.7× for AlexNet CONV-3 in pure op terms.
+	if speedup < 1.1 || speedup > 2.0 {
+		t.Fatalf("CONV-3 speedup = %v, implausible", speedup)
+	}
+}
+
+func TestUpdateSpeedupCombinesBothSavings(t *testing.T) {
+	m := NewCostModel()
+	spec := models.AlexNet()
+	// Err-only data (29%) + CONV-3 sharing: speedup must exceed either
+	// alone.
+	s := m.UpdateSpeedup(spec, 1000, 290, 3)
+	dataOnly := m.UpdateSpeedup(spec, 1000, 290, 0)
+	shareOnly := m.UpdateSpeedup(spec, 1000, 1000, 3)
+	if s <= dataOnly || s <= shareOnly {
+		t.Fatalf("combined speedup %v not above parts (%v, %v)", s, dataOnly, shareOnly)
+	}
+	if m.UpdateSpeedup(spec, 1000, 0, 3) != 1 {
+		t.Fatal("zero-sample update must report neutral speedup")
+	}
+}
+
+func TestFig25SpeedupBand(t *testing.T) {
+	// Paper: 1.4–3.3× model-update speedup as error fraction falls from
+	// 0.72 to 0.29. Check both ends land in a plausible band.
+	m := NewCostModel()
+	spec := models.AlexNet()
+	early := m.UpdateSpeedup(spec, 1000, 720, 3)
+	late := m.UpdateSpeedup(spec, 1000, 290, 3)
+	if early < 1.2 || early > 2.5 {
+		t.Fatalf("early-stage speedup = %v, want ~1.4-1.9", early)
+	}
+	if late < 2.5 || late > 6 {
+		t.Fatalf("late-stage speedup = %v, want ~3.3-4.6", late)
+	}
+	if late <= early {
+		t.Fatal("speedup must grow as error fraction falls")
+	}
+}
+
+func TestPretrainCostPositiveAndScales(t *testing.T) {
+	m := NewCostModel()
+	diag := models.DiagnosisSpec(models.AlexNet(), 100)
+	c := m.PretrainCost(diag, 1000, 0)
+	if c.Seconds <= 0 || c.Joules <= 0 {
+		t.Fatalf("degenerate pretrain cost %+v", c)
+	}
+	c2 := m.PretrainCost(diag, 3000, 0)
+	if c2.Seconds/c.Seconds < 2.9 || c2.Seconds/c.Seconds > 3.1 {
+		t.Fatalf("pretrain cost not linear: %v", c2.Seconds/c.Seconds)
+	}
+}
+
+func TestCostAdd(t *testing.T) {
+	a := Cost{Seconds: 1, Joules: 2}
+	a.Add(Cost{Seconds: 3, Joules: 4})
+	if a.Seconds != 4 || a.Joules != 6 {
+		t.Fatalf("Add = %+v", a)
+	}
+}
+
+func TestTitanXUpdateTimeScalePlausible(t *testing.T) {
+	// 100k AlexNet samples × 2 epochs full training on a Titan X should
+	// take minutes-to-an-hour, not milliseconds or days.
+	m := NewCostModel()
+	c := m.UpdateCost(models.AlexNet(), 100_000, 0)
+	if c.Seconds < 60 || c.Seconds > 3600 {
+		t.Fatalf("100k-sample update = %v s, implausible", c.Seconds)
+	}
+}
+
+func TestPretrainCostLockedCheaper(t *testing.T) {
+	m := NewCostModel()
+	diag := models.DiagnosisSpec(models.AlexNet(), 100)
+	full := m.PretrainCost(diag, 1000, 0)
+	locked := m.PretrainCost(diag, 1000, 3)
+	if locked.Seconds >= full.Seconds {
+		t.Fatalf("locked pretrain %v not below full %v", locked.Seconds, full.Seconds)
+	}
+	// Freezing everything conv saves at most the weight-gradient third.
+	if locked.Seconds < full.Seconds*0.5 {
+		t.Fatalf("locked pretrain %v implausibly cheap vs %v", locked.Seconds, full.Seconds)
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import "insitu/internal/cloud"
+
+// Comparison runs the four Fig. 24 variants through an identical capture
+// schedule and collects their per-stage reports — the machinery behind
+// Table II and Fig. 25.
+type Comparison struct {
+	Bootstrap int
+	Stages    []int
+	Reports   map[SystemKind][]StageReport
+}
+
+// AllKinds lists the variants in the paper's (a)–(d) order.
+func AllKinds() []SystemKind {
+	return []SystemKind{SystemCloudAll, SystemCloudDiagnosis, SystemInSituDiagnosis, SystemInSituAI}
+}
+
+// RunComparison simulates every variant with the same seed (hence the
+// same data) over a bootstrap of the given size and the per-stage capture
+// counts. mutate, if non-nil, adjusts each variant's config before the
+// system is built.
+func RunComparison(seed uint64, bootstrap int, stages []int, mutate func(*Config)) *Comparison {
+	c := &Comparison{
+		Bootstrap: bootstrap,
+		Stages:    stages,
+		Reports:   make(map[SystemKind][]StageReport),
+	}
+	for _, kind := range AllKinds() {
+		cfg := DefaultConfig(kind, seed)
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		sys := NewSystem(cfg)
+		reports := []StageReport{sys.Bootstrap(bootstrap)}
+		for _, n := range stages {
+			reports = append(reports, sys.RunStage(n))
+		}
+		c.Reports[kind] = reports
+	}
+	return c
+}
+
+// DataMovementRatio returns the stage's uploaded bytes of a variant
+// normalized to variant (a) — the Table II metric. Stage 0 is the
+// bootstrap.
+func (c *Comparison) DataMovementRatio(kind SystemKind, stage int) float64 {
+	base := c.Reports[SystemCloudAll][stage].UploadedBytes
+	if base == 0 {
+		return 0
+	}
+	return float64(c.Reports[kind][stage].UploadedBytes) / float64(base)
+}
+
+// CumulativeCloudCost sums a variant's modeled Cloud cost over all
+// stages including bootstrap.
+func (c *Comparison) CumulativeCloudCost(kind SystemKind) cloud.Cost {
+	var total cloud.Cost
+	for _, r := range c.Reports[kind] {
+		total.Add(r.CloudCost)
+	}
+	return total
+}
+
+// CumulativeUplinkJoules sums a variant's uplink transmit energy.
+func (c *Comparison) CumulativeUplinkJoules(kind SystemKind) float64 {
+	var total float64
+	for _, r := range c.Reports[kind] {
+		total += r.UplinkJoules
+	}
+	return total
+}
+
+// UpdateSpeedup returns variant (a)'s modeled update time over the given
+// variant's at one stage — the Fig. 25 speedup series.
+func (c *Comparison) UpdateSpeedup(kind SystemKind, stage int) float64 {
+	base := c.Reports[SystemCloudAll][stage].CloudCost.Seconds
+	own := c.Reports[kind][stage].CloudCost.Seconds
+	if own == 0 {
+		return 1
+	}
+	return base / own
+}
+
+// DataMovementSaving returns the total fraction of bytes the variant
+// avoided moving relative to (a) across all stages — the headline
+// "reduce data movement by 28–71%" number.
+func (c *Comparison) DataMovementSaving(kind SystemKind) float64 {
+	var base, own int64
+	for i := range c.Reports[SystemCloudAll] {
+		base += c.Reports[SystemCloudAll][i].UploadedBytes
+		own += c.Reports[kind][i].UploadedBytes
+	}
+	if base == 0 {
+		return 0
+	}
+	return 1 - float64(own)/float64(base)
+}
+
+// EnergySaving returns the variant's combined (uplink + Cloud) energy
+// saving relative to (a) — the headline "30–70% energy saving".
+func (c *Comparison) EnergySaving(kind SystemKind) float64 {
+	baseCost := c.CumulativeCloudCost(SystemCloudAll)
+	base := baseCost.Joules + c.CumulativeUplinkJoules(SystemCloudAll)
+	ownCost := c.CumulativeCloudCost(kind)
+	own := ownCost.Joules + c.CumulativeUplinkJoules(kind)
+	if base == 0 {
+		return 0
+	}
+	return 1 - own/base
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"insitu/internal/netsim"
+)
+
+// smallCfg shrinks the workload so the closed loop runs quickly in unit
+// tests; benchmarks use the full schedule.
+func smallCfg(kind SystemKind) Config {
+	cfg := DefaultConfig(kind, 11)
+	cfg.Classes = 4
+	cfg.PermClasses = 6
+	return cfg
+}
+
+// The comparison fixture is expensive (it trains 4 variants through 3
+// stages), so it is built once and shared by every test that reads it.
+var (
+	cmpOnce sync.Once
+	cmpFix  *Comparison
+)
+
+func comparison(t *testing.T) *Comparison {
+	if testing.Short() {
+		t.Skip("closed-loop training fixture")
+	}
+	cmpOnce.Do(func() {
+		cmpFix = RunComparison(13, 96, []int{64, 96}, func(c *Config) {
+			c.Classes = 4
+			c.PermClasses = 6
+		})
+	})
+	return cmpFix
+}
+
+func TestSystemKindPredicates(t *testing.T) {
+	if SystemCloudAll.UsesNodeDiagnosis() || SystemCloudDiagnosis.UsesNodeDiagnosis() {
+		t.Fatal("cloud variants must not use node diagnosis")
+	}
+	if !SystemInSituDiagnosis.UsesNodeDiagnosis() || !SystemInSituAI.UsesNodeDiagnosis() {
+		t.Fatal("in-situ variants must use node diagnosis")
+	}
+	if SystemInSituDiagnosis.UsesWeightSharing() || !SystemInSituAI.UsesWeightSharing() {
+		t.Fatal("only variant d uses weight sharing")
+	}
+	if SystemCloudAll.FiltersTraining() {
+		t.Fatal("variant a trains on everything")
+	}
+	for _, k := range AllKinds() {
+		if k.String() == "" {
+			t.Fatal("empty kind name")
+		}
+	}
+}
+
+func TestBootstrapUploadsEverything(t *testing.T) {
+	sys := NewSystem(smallCfg(SystemInSituAI))
+	rep := sys.Bootstrap(48)
+	if rep.Uploaded != 48 || rep.UploadFrac != 1 {
+		t.Fatalf("bootstrap upload = %d (frac %v)", rep.Uploaded, rep.UploadFrac)
+	}
+	if rep.CloudCost.Seconds <= 0 {
+		t.Fatal("bootstrap must cost Cloud time")
+	}
+	if rep.NodeAccuracy <= 1.0/4 {
+		t.Fatalf("bootstrap accuracy %v not above chance", rep.NodeAccuracy)
+	}
+	if sys.Meter().Items != 48 {
+		t.Fatalf("meter items = %d", sys.Meter().Items)
+	}
+}
+
+func TestRunStageBeforeBootstrapPanics(t *testing.T) {
+	sys := NewSystem(smallCfg(SystemInSituAI))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunStage before Bootstrap should panic")
+		}
+	}()
+	sys.RunStage(32)
+}
+
+func TestDoubleBootstrapPanics(t *testing.T) {
+	sys := NewSystem(smallCfg(SystemCloudAll))
+	sys.Bootstrap(48)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Bootstrap should panic")
+		}
+	}()
+	sys.Bootstrap(48)
+}
+
+func TestCloudAllUploadsEverything(t *testing.T) {
+	sys := NewSystem(smallCfg(SystemCloudAll))
+	sys.Bootstrap(48)
+	rep := sys.RunStage(32)
+	if rep.Uploaded != 32 || rep.UploadFrac != 1 {
+		t.Fatalf("variant a must move everything: %d (%v)", rep.Uploaded, rep.UploadFrac)
+	}
+	if rep.Trained != 32 {
+		t.Fatalf("variant a trains on everything: %d", rep.Trained)
+	}
+}
+
+func TestInSituVariantsUploadLess(t *testing.T) {
+	cmp := comparison(t)
+	for _, k := range []SystemKind{SystemInSituDiagnosis, SystemInSituAI} {
+		rep := cmp.Reports[k][2]
+		if rep.Uploaded >= rep.Captured {
+			t.Fatalf("%v uploaded %d of %d: diagnosis filtered nothing", k, rep.Uploaded, rep.Captured)
+		}
+	}
+}
+
+func TestCloudDiagnosisMovesAllTrainsLess(t *testing.T) {
+	cmp := comparison(t)
+	rep := cmp.Reports[SystemCloudDiagnosis][2]
+	if rep.Uploaded != rep.Captured {
+		t.Fatalf("variant b moves everything: %d of %d", rep.Uploaded, rep.Captured)
+	}
+	if rep.Trained >= rep.Captured {
+		t.Fatalf("variant b should train on a filtered subset: %d of %d", rep.Trained, rep.Captured)
+	}
+}
+
+func TestWeightSharingCutsPerSampleCost(t *testing.T) {
+	cmp := comparison(t)
+	repC := cmp.Reports[SystemInSituDiagnosis][1]
+	repD := cmp.Reports[SystemInSituAI][1]
+	if repC.Trained == 0 || repD.Trained == 0 {
+		t.Skip("no training happened at stage 1")
+	}
+	perSampleC := repC.CloudCost.Seconds / float64(repC.Trained)
+	perSampleD := repD.CloudCost.Seconds / float64(repD.Trained)
+	if perSampleD >= perSampleC {
+		t.Fatalf("weight sharing did not cut per-sample cost: %v vs %v", perSampleD, perSampleC)
+	}
+}
+
+func TestAccuracyImprovesOverStages(t *testing.T) {
+	cmp := comparison(t)
+	reports := cmp.Reports[SystemInSituAI]
+	if reports[len(reports)-1].NodeAccuracy <= reports[0].NodeAccuracy {
+		t.Fatalf("incremental updates did not improve accuracy: %v -> %v",
+			reports[0].NodeAccuracy, reports[len(reports)-1].NodeAccuracy)
+	}
+}
+
+func TestUploadFractionDeclines(t *testing.T) {
+	// Table II's core dynamic: the in-situ upload fraction falls from the
+	// bootstrap's 1.0 as the model improves.
+	cmp := comparison(t)
+	reports := cmp.Reports[SystemInSituAI]
+	last := reports[len(reports)-1]
+	if last.UploadFrac >= 0.9 {
+		t.Fatalf("upload fraction did not decline: %v", last.UploadFrac)
+	}
+}
+
+func TestComparisonInvariants(t *testing.T) {
+	cmp := comparison(t)
+	// Every variant has bootstrap + 2 stages.
+	for _, k := range AllKinds() {
+		if len(cmp.Reports[k]) != 3 {
+			t.Fatalf("%v has %d reports", k, len(cmp.Reports[k]))
+		}
+	}
+	// Variant (a) is the normalization baseline: ratio 1 everywhere; (b)
+	// moves everything too.
+	for stage := 0; stage < 3; stage++ {
+		if r := cmp.DataMovementRatio(SystemCloudAll, stage); r != 1 {
+			t.Fatalf("baseline ratio = %v at stage %d", r, stage)
+		}
+		if r := cmp.DataMovementRatio(SystemCloudDiagnosis, stage); r != 1 {
+			t.Fatalf("variant b ratio = %v at stage %d (moves everything)", r, stage)
+		}
+	}
+	// In-situ variants move strictly less after bootstrap.
+	for _, k := range []SystemKind{SystemInSituDiagnosis, SystemInSituAI} {
+		r := cmp.DataMovementRatio(k, 2)
+		if r <= 0 || r >= 1 {
+			t.Fatalf("%v stage-2 movement ratio = %v, want in (0,1)", k, r)
+		}
+	}
+	// Headline claims: data movement and energy savings positive for the
+	// In-situ AI variant.
+	if s := cmp.DataMovementSaving(SystemInSituAI); s <= 0 || s >= 1 {
+		t.Fatalf("data movement saving = %v", s)
+	}
+	if s := cmp.EnergySaving(SystemInSituAI); s <= 0 || s >= 1 {
+		t.Fatalf("energy saving = %v", s)
+	}
+	// Cumulative Cloud cost: every filtered variant beats (a); the
+	// In-situ AI speedup exceeds 1.
+	base := cmp.CumulativeCloudCost(SystemCloudAll).Seconds
+	for _, k := range []SystemKind{SystemCloudDiagnosis, SystemInSituDiagnosis, SystemInSituAI} {
+		if own := cmp.CumulativeCloudCost(k).Seconds; own >= base {
+			t.Fatalf("%v cumulative cost %v not below baseline %v", k, own, base)
+		}
+	}
+	if sp := cmp.UpdateSpeedup(SystemInSituAI, 2); sp <= 1 {
+		t.Fatalf("update speedup = %v", sp)
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig(SystemInSituAI, 1)
+	if cfg.Kind != SystemInSituAI || cfg.Classes < 2 || cfg.PermClasses < 2 {
+		t.Fatalf("bad default config %+v", cfg)
+	}
+	if cfg.Link != netsim.WiFi() {
+		t.Fatal("default link should be WiFi")
+	}
+}
+
+func TestCalibTargetBounds(t *testing.T) {
+	if got := calibTarget(0); got != 0.05 {
+		t.Fatalf("floor = %v", got)
+	}
+	if got := calibTarget(1); got != 1 {
+		t.Fatalf("cap = %v", got)
+	}
+	if got := calibTarget(0.5); got <= 0.5 || got > 0.7 {
+		t.Fatalf("mid = %v", got)
+	}
+}
+
+func TestDeploymentTracking(t *testing.T) {
+	sys := NewSystem(smallCfg(SystemInSituAI))
+	boot := sys.Bootstrap(48)
+	if boot.DownlinkBytes <= 0 {
+		t.Fatal("bootstrap shipped no model bundle")
+	}
+	if boot.ModelVersion != 1 {
+		t.Fatalf("bootstrap version = %d", boot.ModelVersion)
+	}
+	rep := sys.RunStage(32)
+	if rep.ModelVersion != 2 || sys.ModelVersion() != 2 {
+		t.Fatalf("stage version = %d (system %d)", rep.ModelVersion, sys.ModelVersion())
+	}
+	// Downlink cost is the same machinery every stage.
+	if rep.DownlinkBytes != boot.DownlinkBytes {
+		t.Fatalf("bundle size changed: %d vs %d", rep.DownlinkBytes, boot.DownlinkBytes)
+	}
+}

@@ -1,0 +1,483 @@
+// Package core is the In-situ AI framework itself: it wires the
+// substrates (synthetic IoT data, the jigsaw unsupervised network, the
+// inference network, the node-side diagnosis task, the uplink meter and
+// the Cloud cost model) into the closed incremental-learning loop of the
+// paper's Fig. 4, and implements the four deep-learning IoT system
+// variants of Fig. 24 that the evaluation compares:
+//
+//	(a) SystemCloudAll        — every captured image moves to the Cloud;
+//	                            pre-training and updates use all data.
+//	(b) SystemCloudDiagnosis  — every image moves to the Cloud, but a
+//	                            Cloud-side diagnosis filters what is
+//	                            retrained on.
+//	(c) SystemInSituDiagnosis — the diagnosis task runs on the node; only
+//	                            unrecognized data moves.
+//	(d) SystemInSituAI        — (c) plus two-level weight sharing: the
+//	                            incremental update trains only the layers
+//	                            past the shared CONV prefix.
+//
+// Each RunStage captures a batch of in-situ data, moves what the variant
+// moves, incrementally updates the models, redeploys them to the node,
+// and reports data movement, uplink energy, modeled Cloud cost and node
+// accuracy — the raw series behind Table II and Fig. 25.
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"insitu/internal/cloud"
+	"insitu/internal/dataset"
+	"insitu/internal/deploy"
+	"insitu/internal/diagnosis"
+	"insitu/internal/jigsaw"
+	"insitu/internal/models"
+	"insitu/internal/netsim"
+	"insitu/internal/nn"
+	"insitu/internal/tensor"
+	"insitu/internal/train"
+	"insitu/internal/transfer"
+)
+
+// SystemKind selects one of the Fig. 24 variants.
+type SystemKind int
+
+const (
+	// SystemCloudAll is Fig. 24(a).
+	SystemCloudAll SystemKind = iota
+	// SystemCloudDiagnosis is Fig. 24(b).
+	SystemCloudDiagnosis
+	// SystemInSituDiagnosis is Fig. 24(c).
+	SystemInSituDiagnosis
+	// SystemInSituAI is Fig. 24(d) — the paper's proposal.
+	SystemInSituAI
+)
+
+// String implements fmt.Stringer.
+func (k SystemKind) String() string {
+	switch k {
+	case SystemCloudAll:
+		return "a:cloud-all"
+	case SystemCloudDiagnosis:
+		return "b:cloud-diagnosis"
+	case SystemInSituDiagnosis:
+		return "c:insitu-diagnosis"
+	case SystemInSituAI:
+		return "d:insitu-ai"
+	default:
+		return fmt.Sprintf("SystemKind(%d)", int(k))
+	}
+}
+
+// UsesNodeDiagnosis reports whether the variant filters on the node.
+func (k SystemKind) UsesNodeDiagnosis() bool {
+	return k == SystemInSituDiagnosis || k == SystemInSituAI
+}
+
+// UsesWeightSharing reports whether updates lock the shared CONV prefix.
+func (k SystemKind) UsesWeightSharing() bool { return k == SystemInSituAI }
+
+// FiltersTraining reports whether Cloud training uses only valuable data.
+func (k SystemKind) FiltersTraining() bool { return k != SystemCloudAll }
+
+// Config parameterizes a system simulation.
+type Config struct {
+	Kind        SystemKind
+	Classes     int
+	PermClasses int
+	// SharedConvs is the weight-shared CONV prefix depth (variant d).
+	SharedConvs int
+	Seed        uint64
+	// InSituFrac is the fraction of captured data under in-situ
+	// pathologies; Severity their strength.
+	InSituFrac float64
+	Severity   float64
+	Link       netsim.Uplink
+	// FullScaleSpec prices Cloud work at paper scale (default AlexNet).
+	FullScaleSpec models.NetSpec
+	Cost          cloud.CostModel
+	// Probes is the diagnosis probe count per image.
+	Probes int
+	// FrozenModel turns the system into the paper's Fig. 1(b) baseline:
+	// the statically trained edge model. Nothing uploads after the
+	// bootstrap and nothing updates — the motivation experiment for
+	// incremental learning under environment drift.
+	FrozenModel bool
+}
+
+// DefaultConfig returns a validated configuration for the given variant.
+func DefaultConfig(kind SystemKind, seed uint64) Config {
+	return Config{
+		Kind:          kind,
+		Classes:       5,
+		PermClasses:   8,
+		SharedConvs:   3,
+		Seed:          seed,
+		InSituFrac:    0.6,
+		Severity:      0.7,
+		Link:          netsim.WiFi(),
+		FullScaleSpec: models.AlexNet(),
+		Cost:          cloud.NewCostModel(),
+		Probes:        3,
+	}
+}
+
+// StageReport is the outcome of one incremental stage.
+type StageReport struct {
+	Stage    int
+	Kind     SystemKind
+	Captured int
+	// Uploaded is the number of images moved to the Cloud this stage.
+	Uploaded      int
+	UploadedBytes int64
+	UploadFrac    float64
+	UplinkJoules  float64
+	UplinkSeconds float64
+	// Trained is the number of samples the Cloud retrained on.
+	Trained int
+	// CloudCost is the modeled full-scale update cost (Titan X).
+	CloudCost cloud.Cost
+	// NodeAccuracy is the deployed model's accuracy on fresh data after
+	// the update.
+	NodeAccuracy float64
+	// DiagnosisQuality relates node verdicts to actual errors (only
+	// meaningful for variants with node diagnosis).
+	DiagnosisQuality diagnosis.Quality
+	// DownlinkBytes is the size of the model bundle shipped back to the
+	// node (identical machinery across variants).
+	DownlinkBytes int64
+	// ModelVersion is the bundle version the node runs after this stage.
+	ModelVersion uint32
+}
+
+// System is one simulated IoT deployment (node + Cloud). The Cloud and
+// the node hold separate copies of both networks; updates travel as
+// checksummed deploy.Bundle frames, exactly like a real OTA pipeline.
+type System struct {
+	Cfg Config
+
+	gen *dataset.Generator
+	// Cloud-side models (trained).
+	cloudInfer *nn.Network
+	cloudJig   *nn.Network
+	cloudDiag  *diagnosis.JigsawDiagnoser // threshold calibration
+	// Node-side models (deployed).
+	nodeInfer *nn.Network
+	nodeJig   *nn.Network
+	diag      *diagnosis.JigsawDiagnoser
+
+	permSet  *jigsaw.PermSet
+	jigTr    *jigsaw.Trainer
+	meter    *netsim.Meter
+	diagSpec models.NetSpec
+	version  uint32
+
+	// cloudData is every sample the Cloud has received (its replay pool).
+	cloudData []dataset.Sample
+	stage     int
+	rng       *tensor.RNG
+}
+
+// NewSystem constructs a system; call Bootstrap before RunStage.
+func NewSystem(cfg Config) *System {
+	if cfg.Classes < 2 || cfg.PermClasses < 2 {
+		panic("core: bad config")
+	}
+	s := &System{
+		Cfg:        cfg,
+		gen:        dataset.NewGenerator(cfg.Classes, cfg.Seed),
+		permSet:    jigsaw.NewPermSet(cfg.PermClasses, cfg.Seed+1),
+		cloudJig:   jigsaw.NewNet(cfg.PermClasses, cfg.Seed+2),
+		cloudInfer: models.TinyAlex(cfg.Classes, cfg.Seed+3),
+		nodeJig:    jigsaw.NewNet(cfg.PermClasses, cfg.Seed+2),
+		nodeInfer:  models.TinyAlex(cfg.Classes, cfg.Seed+3),
+		meter:      netsim.NewMeter(cfg.Link),
+		diagSpec:   models.DiagnosisSpec(cfg.FullScaleSpec, 100),
+		rng:        tensor.NewRNG(cfg.Seed + 4),
+	}
+	s.jigTr = jigsaw.NewTrainer(s.cloudJig, s.permSet, 0.01, cfg.Seed+5)
+	s.cloudDiag = diagnosis.NewJigsawDiagnoser(s.cloudJig, s.permSet, cfg.Probes, cfg.Seed+6)
+	s.diag = diagnosis.NewJigsawDiagnoser(s.nodeJig, s.permSet, cfg.Probes, cfg.Seed+6)
+	return s
+}
+
+// deployToNode packages the Cloud models plus the calibrated threshold
+// and ships them over the (simulated) downlink to the node's copies.
+func (s *System) deployToNode() int64 {
+	s.version++
+	bundle, err := deploy.Pack(s.version, s.cloudInfer, s.cloudJig, s.cloudDiag.Threshold())
+	if err != nil {
+		panic(fmt.Sprintf("core: packing deployment: %v", err))
+	}
+	var wire bytes.Buffer
+	if err := bundle.Encode(&wire); err != nil {
+		panic(fmt.Sprintf("core: encoding deployment: %v", err))
+	}
+	received, err := deploy.Decode(&wire)
+	if err != nil {
+		panic(fmt.Sprintf("core: downlink corrupted: %v", err))
+	}
+	if err := received.Apply(s.nodeInfer, s.nodeJig, s.diag); err != nil {
+		panic(fmt.Sprintf("core: applying deployment: %v", err))
+	}
+	return bundle.Size()
+}
+
+// Meter exposes the node's uplink meter.
+func (s *System) Meter() *netsim.Meter { return s.meter }
+
+// InferenceNet exposes the node's deployed inference network.
+func (s *System) InferenceNet() *nn.Network { return s.nodeInfer }
+
+// Diagnoser exposes the node's diagnosis task.
+func (s *System) Diagnoser() *diagnosis.JigsawDiagnoser { return s.diag }
+
+// ModelVersion returns the bundle version currently deployed.
+func (s *System) ModelVersion() uint32 { return s.version }
+
+// Bootstrap performs the paper's initialization: n images are captured
+// and (in every variant) moved to the Cloud, the unsupervised network is
+// pre-trained on them, the inference network is transfer-learned from it
+// on the labeled set, and the initial models are deployed to the node
+// with a calibrated diagnosis threshold.
+func (s *System) Bootstrap(n int) StageReport {
+	if s.stage != 0 {
+		panic("core: Bootstrap after stages have run")
+	}
+	capture := s.gen.MixedSet(n, s.Cfg.InSituFrac, s.Cfg.Severity)
+	s.meter.UploadItems(int64(n)*dataset.ImageBytes, int64(n))
+	s.cloudData = append(s.cloudData, capture...)
+
+	// Unsupervised pre-training on the raw pool.
+	s.trainJigsaw(capture, 0)
+	// Transfer learning into the inference network, then supervised
+	// fine-tune on the labeled bootstrap data.
+	if _, err := transfer.FromUnsupervised(s.cloudInfer, s.cloudJig, s.Cfg.SharedConvs); err != nil {
+		panic(fmt.Sprintf("core: transfer failed: %v", err))
+	}
+	cfg := train.DefaultConfig(stepsFor(len(capture)))
+	train.Run(s.cloudInfer, capture, cfg, 0)
+
+	// After the bootstrap, incremental updates use a gentler learning
+	// rate so small hard-example sets don't destabilize the models.
+	s.jigTr.Opt.LR = 0.005
+
+	// Calibrate the diagnosis threshold Cloud-side: the Cloud measures
+	// the freshly trained model's error rate and sets the upload budget
+	// accordingly (bounded below by the configured target's floor); the
+	// threshold ships to the node inside the deployment bundle.
+	errRate := 1 - train.Evaluate(s.cloudInfer, capture)
+	diagnosis.Calibrate(s.cloudDiag, capture, calibTarget(errRate))
+	downlink := s.deployToNode()
+
+	cost := s.Cfg.Cost.PretrainCost(s.diagSpec, n, 0)
+	cost.Add(s.Cfg.Cost.UpdateCost(s.Cfg.FullScaleSpec, n, 0))
+	s.stage = 1
+	return StageReport{
+		Stage:         0,
+		Kind:          s.Cfg.Kind,
+		Captured:      n,
+		Uploaded:      n,
+		UploadedBytes: int64(n) * dataset.ImageBytes,
+		UploadFrac:    1,
+		UplinkJoules:  s.Cfg.Link.TransferEnergy(int64(n) * dataset.ImageBytes),
+		UplinkSeconds: s.Cfg.Link.TransferTime(int64(n) * dataset.ImageBytes),
+		Trained:       n,
+		CloudCost:     cost,
+		NodeAccuracy:  s.evaluate(),
+		DownlinkBytes: downlink,
+		ModelVersion:  s.version,
+	}
+}
+
+// SetSeverity adjusts the in-situ condition severity for subsequent
+// stages — environment drift, the "ever-changing in-situ environments"
+// of the paper's motivation.
+func (s *System) SetSeverity(severity float64) { s.Cfg.Severity = severity }
+
+// RunStage captures n new images and runs one incremental update.
+func (s *System) RunStage(n int) StageReport {
+	if s.stage == 0 {
+		panic("core: RunStage before Bootstrap")
+	}
+	capture := s.gen.MixedSet(n, s.Cfg.InSituFrac, s.Cfg.Severity)
+
+	// Node-side diagnosis quality against ground truth (pre-update).
+	quality := diagnosis.Measure(s.diag, s.nodeInfer, capture)
+
+	// The static-edge baseline processes everything locally and never
+	// adapts: report accuracy and stop.
+	if s.Cfg.FrozenModel {
+		rep := StageReport{
+			Stage:            s.stage,
+			Kind:             s.Cfg.Kind,
+			Captured:         n,
+			NodeAccuracy:     s.evaluate(),
+			DiagnosisQuality: quality,
+			ModelVersion:     s.version,
+		}
+		s.stage++
+		return rep
+	}
+
+	// A small uniformly-sampled calibration set always moves to the
+	// Cloud: it lets the Cloud measure the updated model's error rate
+	// without bias and ship a recalibrated diagnosis threshold back with
+	// the model. For variants (a)/(b) it is part of the full stream; for
+	// (c)/(d) it is extra metered traffic.
+	calibN := n / 10
+	if calibN < 12 {
+		calibN = 12
+	}
+	calib := s.gen.MixedSet(calibN, s.Cfg.InSituFrac, s.Cfg.Severity)
+
+	// What moves to the Cloud.
+	var uploaded []dataset.Sample
+	if s.Cfg.Kind.UsesNodeDiagnosis() {
+		_, unrecognized := diagnosis.Split(s.diag, capture)
+		uploaded = append(unrecognized, calib...)
+	} else {
+		uploaded = capture
+	}
+	upBytes := int64(len(uploaded)) * dataset.ImageBytes
+	s.meter.UploadItems(upBytes, int64(len(uploaded)))
+	s.cloudData = append(s.cloudData, uploaded...)
+
+	// What the Cloud retrains on.
+	var trainSet []dataset.Sample
+	switch {
+	case s.Cfg.Kind == SystemCloudAll:
+		trainSet = capture
+	case s.Cfg.Kind == SystemCloudDiagnosis:
+		// Cloud-side diagnosis: same filter, applied after the move.
+		_, unrecognized := diagnosis.Split(s.diag, capture)
+		trainSet = unrecognized
+	default:
+		trainSet = uploaded
+	}
+
+	locked := 0
+	if s.Cfg.Kind.UsesWeightSharing() {
+		locked = s.Cfg.SharedConvs
+	}
+	if len(trainSet) > 0 {
+		// Incremental unsupervised update keeps the diagnosis task
+		// tracking the drifting environment.
+		s.trainJigsaw(trainSet, locked)
+		// Supervised fine-tune with replay from the Cloud's pool to
+		// stabilize hard-example-only updates (the Cloud owns all
+		// previously uploaded data).
+		mixed := s.withReplay(trainSet)
+		cfg := train.DefaultConfig(stepsFor(len(mixed)))
+		cfg.LR = 0.005
+		transfer.FineTune(s.cloudInfer, mixed, cfg, locked)
+	}
+
+	// The Cloud recalibrates the diagnosis threshold against the updated
+	// model's measured error rate and ships it — with the models — back
+	// to the node over the downlink. The new threshold is blended with
+	// the previous one (EMA) so one noisy calibration sample cannot swing
+	// the upload budget.
+	errRate := 1 - train.Evaluate(s.cloudInfer, calib)
+	prevThr := s.cloudDiag.Threshold()
+	diagnosis.Calibrate(s.cloudDiag, calib, calibTarget(errRate))
+	s.cloudDiag.SetThreshold(0.5*prevThr + 0.5*s.cloudDiag.Threshold())
+	downlink := s.deployToNode()
+
+	// Price the update at full scale.
+	var cost cloud.Cost
+	if len(trainSet) > 0 {
+		cost = s.Cfg.Cost.PretrainCost(s.diagSpec, len(trainSet), locked)
+		cost.Add(s.Cfg.Cost.UpdateCost(s.Cfg.FullScaleSpec, len(trainSet), locked))
+	}
+
+	rep := StageReport{
+		Stage:            s.stage,
+		Kind:             s.Cfg.Kind,
+		Captured:         n,
+		Uploaded:         len(uploaded),
+		UploadedBytes:    upBytes,
+		UploadFrac:       float64(len(uploaded)) / float64(n),
+		UplinkJoules:     s.Cfg.Link.TransferEnergy(upBytes),
+		UplinkSeconds:    s.Cfg.Link.TransferTime(upBytes),
+		Trained:          len(trainSet),
+		CloudCost:        cost,
+		NodeAccuracy:     s.evaluate(),
+		DiagnosisQuality: quality,
+		DownlinkBytes:    downlink,
+		ModelVersion:     s.version,
+	}
+	s.stage++
+	return rep
+}
+
+// trainJigsaw runs incremental unsupervised training on a sample set.
+// locked > 0 freezes the shared CONV prefix (variant d keeps the shared
+// trunk stable so the inference network's locked layers stay valid).
+func (s *System) trainJigsaw(samples []dataset.Sample, locked int) {
+	images := make([]*tensor.Tensor, len(samples))
+	for i, smp := range samples {
+		images[i] = smp.Image
+	}
+	prefixes := transfer.ConvPrefixes(locked)
+	if locked > 0 && s.stage > 0 {
+		s.cloudJig.FreezeLayers(prefixes...)
+	}
+	steps := stepsFor(len(images))
+	const batch = 16
+	for step := 0; step < steps; step++ {
+		i0 := (step * batch) % len(images)
+		end := i0 + batch
+		if end > len(images) {
+			end = len(images)
+		}
+		s.jigTr.Step(images[i0:end])
+	}
+	if locked > 0 && s.stage > 0 {
+		s.cloudJig.UnfreezeLayers(prefixes...)
+	}
+}
+
+// withReplay mixes the new uploads with an equal-sized random sample of
+// the Cloud's accumulated pool.
+func (s *System) withReplay(fresh []dataset.Sample) []dataset.Sample {
+	out := append([]dataset.Sample(nil), fresh...)
+	if len(s.cloudData) == 0 {
+		return out
+	}
+	for i := 0; i < len(fresh); i++ {
+		out = append(out, s.cloudData[s.rng.Intn(len(s.cloudData))])
+	}
+	return out
+}
+
+// evaluate measures the NODE's deployed-model accuracy on a fresh
+// capture mix.
+func (s *System) evaluate() float64 {
+	eval := s.gen.MixedSet(120, s.Cfg.InSituFrac, s.Cfg.Severity)
+	return train.Evaluate(s.nodeInfer, eval)
+}
+
+// stepsFor scales training steps to the stage's data volume: roughly
+// eight epochs at batch 32, at least 40 steps.
+func stepsFor(n int) int {
+	steps := 8 * n / 32
+	if steps < 40 {
+		steps = 40
+	}
+	return steps
+}
+
+// calibTarget converts a measured error rate into a diagnosis upload
+// budget: upload a bit more than the error rate (to catch most errors)
+// with a floor that keeps the loop alive.
+func calibTarget(errRate float64) float64 {
+	t := errRate*1.2 + 0.05
+	if t > 1 {
+		t = 1
+	}
+	if t < 0.05 {
+		t = 0.05
+	}
+	return t
+}

@@ -1,0 +1,148 @@
+// Package deploy packages model updates for the Cloud→node downlink: a
+// versioned bundle holding the inference weights, the unsupervised
+// (jigsaw/diagnosis) weights and the recalibrated diagnosis threshold,
+// framed with a CRC-32 so a node never applies a corrupted update. The
+// bundle size is the downlink data-movement cost of each incremental
+// update — the counterpart of the uplink accounting in internal/netsim
+// (identical across the paper's four system variants, which is why Table
+// II only tracks the uplink; this package makes that claim checkable).
+package deploy
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"insitu/internal/diagnosis"
+	"insitu/internal/nn"
+)
+
+// Bundle is one versioned model deployment.
+type Bundle struct {
+	Version          uint32
+	Threshold        float64
+	InferenceWeights []byte
+	JigsawWeights    []byte
+}
+
+const bundleMagic = "ISDP0001"
+
+// Pack serializes both networks and the threshold into a bundle.
+func Pack(version uint32, inference, jigsaw *nn.Network, threshold float64) (*Bundle, error) {
+	var inf, jig bytes.Buffer
+	if err := inference.SaveWeights(&inf); err != nil {
+		return nil, fmt.Errorf("deploy: packing inference weights: %w", err)
+	}
+	if err := jigsaw.SaveWeights(&jig); err != nil {
+		return nil, fmt.Errorf("deploy: packing jigsaw weights: %w", err)
+	}
+	return &Bundle{
+		Version:          version,
+		Threshold:        threshold,
+		InferenceWeights: inf.Bytes(),
+		JigsawWeights:    jig.Bytes(),
+	}, nil
+}
+
+// Size returns the encoded size in bytes — the downlink cost.
+func (b *Bundle) Size() int64 {
+	// magic + version + threshold + 2 length prefixes + payloads + crc.
+	return int64(len(bundleMagic)) + 4 + 8 + 4 + 4 +
+		int64(len(b.InferenceWeights)) + int64(len(b.JigsawWeights)) + 4
+}
+
+// Encode frames the bundle onto w with a trailing CRC-32 (IEEE) over
+// everything after the magic.
+func (b *Bundle) Encode(w io.Writer) error {
+	var body bytes.Buffer
+	if err := binary.Write(&body, binary.LittleEndian, b.Version); err != nil {
+		return err
+	}
+	if err := binary.Write(&body, binary.LittleEndian, math.Float64bits(b.Threshold)); err != nil {
+		return err
+	}
+	for _, payload := range [][]byte{b.InferenceWeights, b.JigsawWeights} {
+		if err := binary.Write(&body, binary.LittleEndian, uint32(len(payload))); err != nil {
+			return err
+		}
+		if _, err := body.Write(payload); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, bundleMagic); err != nil {
+		return err
+	}
+	if _, err := w.Write(body.Bytes()); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, crc32.ChecksumIEEE(body.Bytes()))
+}
+
+// Decode reads a framed bundle, verifying the magic and checksum.
+func Decode(r io.Reader) (*Bundle, error) {
+	magic := make([]byte, len(bundleMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("deploy: reading magic: %w", err)
+	}
+	if string(magic) != bundleMagic {
+		return nil, fmt.Errorf("deploy: bad magic %q", magic)
+	}
+	body, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 4 {
+		return nil, fmt.Errorf("deploy: truncated bundle")
+	}
+	payload, sum := body[:len(body)-4], binary.LittleEndian.Uint32(body[len(body)-4:])
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("deploy: checksum mismatch: bundle corrupted in transit")
+	}
+	br := bytes.NewReader(payload)
+	b := &Bundle{}
+	if err := binary.Read(br, binary.LittleEndian, &b.Version); err != nil {
+		return nil, err
+	}
+	var thr uint64
+	if err := binary.Read(br, binary.LittleEndian, &thr); err != nil {
+		return nil, err
+	}
+	b.Threshold = math.Float64frombits(thr)
+	for _, dst := range []*[]byte{&b.InferenceWeights, &b.JigsawWeights} {
+		var n uint32
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		if int(n) > br.Len() {
+			return nil, fmt.Errorf("deploy: payload length %d exceeds remaining %d", n, br.Len())
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		*dst = buf
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("deploy: %d trailing bytes", br.Len())
+	}
+	return b, nil
+}
+
+// Apply loads the bundle's weights into the node's networks and sets the
+// diagnosis threshold. The networks must be structurally identical to the
+// ones the bundle was packed from.
+func (b *Bundle) Apply(inference, jigsaw *nn.Network, diag diagnosis.Diagnoser) error {
+	if err := inference.LoadWeights(bytes.NewReader(b.InferenceWeights)); err != nil {
+		return fmt.Errorf("deploy: applying inference weights: %w", err)
+	}
+	if err := jigsaw.LoadWeights(bytes.NewReader(b.JigsawWeights)); err != nil {
+		return fmt.Errorf("deploy: applying jigsaw weights: %w", err)
+	}
+	if diag != nil {
+		diag.SetThreshold(b.Threshold)
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package deploy
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"insitu/internal/diagnosis"
+	"insitu/internal/jigsaw"
+	"insitu/internal/models"
+	"insitu/internal/tensor"
+)
+
+func TestPackEncodeDecodeApplyRoundTrip(t *testing.T) {
+	inf := models.TinyAlex(4, 1)
+	jig := jigsaw.NewNet(8, 2)
+	bundle, err := Pack(7, inf, jig, 0.42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire bytes.Buffer
+	if err := bundle.Encode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	if int64(wire.Len()) != bundle.Size() {
+		t.Fatalf("Size() = %d, encoded %d", bundle.Size(), wire.Len())
+	}
+	got, err := Decode(&wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 7 || got.Threshold != 0.42 {
+		t.Fatalf("metadata lost: %+v", got)
+	}
+	// Apply onto differently-initialized nets of the same architecture.
+	inf2 := models.TinyAlex(4, 99)
+	jig2 := jigsaw.NewNet(8, 98)
+	set := jigsaw.NewPermSet(8, 3)
+	d := diagnosis.NewJigsawDiagnoser(jig2, set, 2, 4)
+	if err := got.Apply(inf2, jig2, d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Threshold() != 0.42 {
+		t.Fatalf("threshold not applied: %v", d.Threshold())
+	}
+	// Networks now behave identically to the originals.
+	r := tensor.NewRNG(5)
+	x := tensor.New(2, models.ImgChannels, models.ImgSize, models.ImgSize)
+	x.FillNormal(r, 0, 1)
+	a := inf.Forward(x, false)
+	b := inf2.Forward(x, false)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("inference weights differ after deployment")
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	inf := models.TinyAlex(3, 1)
+	jig := jigsaw.NewNet(6, 2)
+	bundle, err := Pack(1, inf, jig, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire bytes.Buffer
+	if err := bundle.Encode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	raw := wire.Bytes()
+	// Flip one payload byte: checksum must catch it.
+	raw[len(raw)/2] ^= 0xFF
+	if _, err := Decode(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupted bundle accepted")
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("XXXXXXXXwhatever"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	inf := models.TinyAlex(3, 1)
+	jig := jigsaw.NewNet(6, 2)
+	bundle, _ := Pack(1, inf, jig, 0.5)
+	var wire bytes.Buffer
+	if err := bundle.Encode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	raw := wire.Bytes()[:wire.Len()/2]
+	if _, err := Decode(bytes.NewReader(raw)); err == nil {
+		t.Fatal("truncated bundle accepted")
+	}
+}
+
+func TestApplyRejectsWrongArchitecture(t *testing.T) {
+	inf := models.TinyAlex(3, 1)
+	jig := jigsaw.NewNet(6, 2)
+	bundle, _ := Pack(1, inf, jig, 0.5)
+	wrong := models.TinyAlex(5, 1) // different class count
+	if err := bundle.Apply(wrong, jigsaw.NewNet(6, 3), nil); err == nil {
+		t.Fatal("wrong architecture accepted")
+	}
+}
+
+func TestBundleSizeMatchesWeightFootprint(t *testing.T) {
+	inf := models.TinyAlex(4, 1)
+	jig := jigsaw.NewNet(8, 2)
+	bundle, _ := Pack(1, inf, jig, 0.5)
+	// The bundle must be dominated by the two weight payloads.
+	minSize := inf.ParamBytes() + jig.ParamBytes()
+	if bundle.Size() < minSize {
+		t.Fatalf("bundle %d smaller than raw weights %d", bundle.Size(), minSize)
+	}
+	// Overhead (names, shapes, framing) stays under 10%.
+	if float64(bundle.Size()) > 1.1*float64(minSize) {
+		t.Fatalf("bundle overhead too large: %d vs %d", bundle.Size(), minSize)
+	}
+}
+
+// Property: every version/threshold combination survives the round trip.
+func TestQuickMetadataRoundTrip(t *testing.T) {
+	inf := models.TinyAlex(3, 1)
+	jig := jigsaw.NewNet(6, 2)
+	f := func(version uint32, thr float64) bool {
+		b, err := Pack(version, inf, jig, thr)
+		if err != nil {
+			return false
+		}
+		var wire bytes.Buffer
+		if err := b.Encode(&wire); err != nil {
+			return false
+		}
+		got, err := Decode(&wire)
+		if err != nil {
+			return false
+		}
+		return got.Version == version && (got.Threshold == thr || (thr != thr && got.Threshold != got.Threshold))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package diagnosis
+
+import (
+	"testing"
+
+	"insitu/internal/dataset"
+	"insitu/internal/jigsaw"
+	"insitu/internal/models"
+	"insitu/internal/tensor"
+	"insitu/internal/train"
+)
+
+// fakeDiagnoser scores images by their mean pixel value — deterministic
+// and cheap for unit-testing the generic machinery.
+type fakeDiagnoser struct{ threshold float64 }
+
+func (f *fakeDiagnoser) Score(img *tensor.Tensor) float64 {
+	return img.Sum() / float64(img.Size())
+}
+func (f *fakeDiagnoser) Threshold() float64     { return f.threshold }
+func (f *fakeDiagnoser) SetThreshold(t float64) { f.threshold = t }
+
+func TestSplitPartitionsCompletely(t *testing.T) {
+	g := dataset.NewGenerator(4, 1)
+	samples := g.MixedSet(60, 0.5, 0.8)
+	d := &fakeDiagnoser{threshold: 0.4}
+	rec, unrec := Split(d, samples)
+	if len(rec)+len(unrec) != 60 {
+		t.Fatalf("partition lost samples: %d + %d", len(rec), len(unrec))
+	}
+	for _, s := range rec {
+		if d.Score(s.Image) < d.Threshold() {
+			t.Fatal("recognized sample scores below threshold")
+		}
+	}
+	for _, s := range unrec {
+		if d.Score(s.Image) >= d.Threshold() {
+			t.Fatal("unrecognized sample scores above threshold")
+		}
+	}
+}
+
+func TestCalibrateHitsTargetFraction(t *testing.T) {
+	g := dataset.NewGenerator(4, 2)
+	samples := g.MixedSet(200, 0.5, 0.8)
+	d := &fakeDiagnoser{}
+	Calibrate(d, samples, 0.3)
+	_, unrec := Split(d, samples)
+	frac := float64(len(unrec)) / 200
+	if frac < 0.2 || frac > 0.4 {
+		t.Fatalf("calibrated upload fraction %v, want ~0.3", frac)
+	}
+}
+
+func TestCalibrateEdgeFractions(t *testing.T) {
+	g := dataset.NewGenerator(4, 3)
+	samples := g.IdealSet(50)
+	d := &fakeDiagnoser{}
+	Calibrate(d, samples, 0)
+	_, unrec := Split(d, samples)
+	if len(unrec) > 2 {
+		t.Fatalf("fraction 0 still uploads %d", len(unrec))
+	}
+	Calibrate(d, samples, 1.0)
+	rec, _ := Split(d, samples)
+	if len(rec) > 2 {
+		t.Fatalf("fraction 1 still recognizes %d", len(rec))
+	}
+	Calibrate(d, nil, 0.5) // must not panic on empty set
+}
+
+func TestJigsawDiagnoserScoreRange(t *testing.T) {
+	set := jigsaw.NewPermSet(8, 1)
+	net := jigsaw.NewNet(8, 2)
+	d := NewJigsawDiagnoser(net, set, 4, 3)
+	g := dataset.NewGenerator(4, 4)
+	for _, s := range g.MixedSet(10, 0.5, 0.5) {
+		sc := d.Score(s.Image)
+		if sc < 0 || sc > 1 {
+			t.Fatalf("score out of range: %v", sc)
+		}
+	}
+}
+
+func TestJigsawDiagnoserDeterministicProbes(t *testing.T) {
+	set := jigsaw.NewPermSet(8, 1)
+	net := jigsaw.NewNet(8, 2)
+	d := NewJigsawDiagnoser(net, set, 4, 3)
+	g := dataset.NewGenerator(4, 5)
+	s := g.Ideal()
+	a, b := d.Score(s.Image), d.Score(s.Image)
+	if a != b {
+		t.Fatalf("probe schedule not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestConfidenceDiagnoserMatchesTopProb(t *testing.T) {
+	net := models.TinyAlex(4, 1)
+	d := NewConfidenceDiagnoser(net)
+	g := dataset.NewGenerator(4, 6)
+	s := g.Ideal()
+	sc := d.Score(s.Image)
+	if sc < 1.0/4 || sc > 1 {
+		t.Fatalf("confidence score %v outside [0.25, 1]", sc)
+	}
+}
+
+func TestMeasureConsistency(t *testing.T) {
+	net := models.TinyAlex(4, 7)
+	d := &fakeDiagnoser{threshold: 0.45}
+	g := dataset.NewGenerator(4, 8)
+	samples := g.MixedSet(50, 0.5, 0.8)
+	q := Measure(d, net, samples)
+	if q.UploadFraction < 0 || q.UploadFraction > 1 {
+		t.Fatalf("upload fraction %v", q.UploadFraction)
+	}
+	if q.ErrorRecall < 0 || q.ErrorRecall > 1 || q.Precision < 0 || q.Precision > 1 {
+		t.Fatalf("quality out of range: %+v", q)
+	}
+	if got := Measure(d, net, nil); got != (Quality{}) {
+		t.Fatalf("empty set quality = %+v", got)
+	}
+}
+
+// End-to-end: a trained jigsaw diagnoser must flag in-situ (shifted)
+// images more often than ideal images — the signal the whole In-situ AI
+// loop relies on.
+func TestJigsawDiagnoserSeparatesShiftedData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	const perms = 8
+	g := dataset.NewGenerator(5, 9)
+	set := jigsaw.NewPermSet(perms, 10)
+	net := jigsaw.NewNet(perms, 11)
+	tr := jigsaw.NewTrainer(net, set, 0.01, 12)
+	// Pre-train on ideal data only: in-situ images are out-of-distribution.
+	var pool []*tensor.Tensor
+	for _, s := range g.IdealSet(160) {
+		pool = append(pool, s.Image)
+	}
+	for step := 0; step < 150; step++ {
+		i0 := (step * 16) % 160
+		tr.Step(pool[i0 : i0+16])
+	}
+	d := NewJigsawDiagnoser(net, set, 4, 13)
+	var idealScore, insituScore float64
+	const n = 60
+	for _, s := range g.IdealSet(n) {
+		idealScore += d.Score(s.Image) / n
+	}
+	for _, s := range g.InSituSet(n, 0.9) {
+		insituScore += d.Score(s.Image) / n
+	}
+	t.Logf("mean score ideal %.3f vs in-situ %.3f", idealScore, insituScore)
+	if insituScore >= idealScore {
+		t.Fatalf("diagnoser cannot separate: ideal %v vs in-situ %v", idealScore, insituScore)
+	}
+}
+
+var _ = train.Evaluate // reserved for future diagnosis-vs-training tests

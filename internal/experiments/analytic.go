@@ -1,0 +1,381 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from this repository's substrates. Each experiment returns
+// both raw series (for assertions in tests and benchmarks) and a
+// rendered metrics.Table for human consumption. The analytical
+// experiments (Figs. 11–23) are deterministic and fast; the learning
+// experiments (Table I, Figs. 5–7) and the closed-loop experiments
+// (Table II, Fig. 25) train real networks and accept a Scale.
+package experiments
+
+import (
+	"fmt"
+
+	"insitu/internal/device"
+	"insitu/internal/fpgasim"
+	"insitu/internal/gpusim"
+	"insitu/internal/metrics"
+	"insitu/internal/models"
+	"insitu/internal/planner"
+)
+
+// Batches is the batch-size sweep used by the characterization figures.
+var Batches = []int{1, 2, 4, 8, 16, 32, 64, 128}
+
+// Fig11Result carries latency and perf/W per batch for GPU and FPGA.
+type Fig11Result struct {
+	Batches    []int
+	GPULatency []float64
+	GPUPerfW   []float64
+	FPGALat    []float64
+	FPGAPerfW  []float64
+}
+
+// Fig11 reproduces "Latency and Performance/Power Ratio with Various
+// Batch Sizes" for the AlexNet inference task.
+func Fig11() Fig11Result {
+	g := gpusim.New(device.TX1())
+	f := fpgasim.NewInferenceSim(device.VX690T(), models.AlexNet(), false)
+	spec := models.AlexNet()
+	r := Fig11Result{Batches: Batches}
+	for _, b := range Batches {
+		gr := g.NetTime(spec, b)
+		fr := f.NetTime(spec, b)
+		r.GPULatency = append(r.GPULatency, gr.Latency())
+		r.GPUPerfW = append(r.GPUPerfW, g.PerfPerWatt(spec, b))
+		r.FPGALat = append(r.FPGALat, fr.TotalTime())
+		r.FPGAPerfW = append(r.FPGAPerfW, f.PerfPerWatt(spec, b))
+	}
+	return r
+}
+
+// Table renders the figure.
+func (r Fig11Result) Table() *metrics.Table {
+	t := metrics.NewTable("Fig. 11 — AlexNet latency and perf/W vs batch",
+		"batch", "GPU latency (ms)", "GPU img/s/W", "FPGA latency (ms)", "FPGA img/s/W")
+	for i, b := range r.Batches {
+		t.AddRow(fmt.Sprintf("%d", b),
+			fmt.Sprintf("%.2f", r.GPULatency[i]*1e3),
+			fmt.Sprintf("%.2f", r.GPUPerfW[i]),
+			fmt.Sprintf("%.2f", r.FPGALat[i]*1e3),
+			fmt.Sprintf("%.2f", r.FPGAPerfW[i]))
+	}
+	return t
+}
+
+// Fig12Result carries the CONV/FCN runtime split per batch.
+type Fig12Result struct {
+	Batches  []int
+	GPUFCN   []float64 // FCN share of runtime on GPU
+	FPGAFCN  []float64 // FCN share on FPGA (no batch loop)
+	GPUConv  []float64
+	FPGAConv []float64
+}
+
+// Fig12 reproduces "Runtime Breakdown of Inference Task".
+func Fig12() Fig12Result {
+	g := gpusim.New(device.TX1())
+	f := fpgasim.NewInferenceSim(device.VX690T(), models.AlexNet(), false)
+	spec := models.AlexNet()
+	r := Fig12Result{Batches: Batches}
+	for _, b := range Batches {
+		gr := g.NetTime(spec, b)
+		fr := f.NetTime(spec, b)
+		r.GPUFCN = append(r.GPUFCN, gr.FCNShare())
+		r.GPUConv = append(r.GPUConv, 1-gr.FCNShare())
+		r.FPGAFCN = append(r.FPGAFCN, fr.FCNShare())
+		r.FPGAConv = append(r.FPGAConv, 1-fr.FCNShare())
+	}
+	return r
+}
+
+// Table renders the figure.
+func (r Fig12Result) Table() *metrics.Table {
+	t := metrics.NewTable("Fig. 12 — FCN share of AlexNet runtime vs batch",
+		"batch", "GPU FCN share", "FPGA FCN share")
+	for i, b := range r.Batches {
+		t.AddRow(fmt.Sprintf("%d", b),
+			fmt.Sprintf("%.2f", r.GPUFCN[i]),
+			fmt.Sprintf("%.2f", r.FPGAFCN[i]))
+	}
+	return t
+}
+
+// Fig14Result carries layer-family perf/W for GPU and FPGA designs.
+type Fig14Result struct {
+	Batches       []int
+	GPUConvPerfW  []float64
+	GPUFCNPerfW   []float64
+	FPGAConvPerfW []float64
+	FPGAFCNRaw    []float64 // without batch loop
+	FPGAFCNOpt    []float64 // with the Fig. 13 batch loop
+}
+
+// convOnly and fcnOnly derive single-family specs from AlexNet.
+func convOnly() models.NetSpec {
+	return models.NetSpec{Name: "AlexNet-conv", Layers: models.AlexNet().ConvLayers()}
+}
+func fcnOnly() models.NetSpec {
+	return models.NetSpec{Name: "AlexNet-fcn", Layers: models.AlexNet().FCLayers()}
+}
+
+// Fig14 reproduces "Perf./Power Ratio with Various Batch Sizes" for CONV
+// and FCN layer families separately, including the FPGA batch-loop
+// optimization.
+func Fig14() Fig14Result {
+	g := gpusim.New(device.TX1())
+	fRaw := fpgasim.NewInferenceSim(device.VX690T(), models.AlexNet(), false)
+	fOpt := fpgasim.NewInferenceSim(device.VX690T(), models.AlexNet(), true)
+	r := Fig14Result{Batches: Batches}
+	conv, fcn := convOnly(), fcnOnly()
+	for _, b := range Batches {
+		r.GPUConvPerfW = append(r.GPUConvPerfW, g.PerfPerWatt(conv, b))
+		r.GPUFCNPerfW = append(r.GPUFCNPerfW, g.PerfPerWatt(fcn, b))
+		r.FPGAConvPerfW = append(r.FPGAConvPerfW, fRaw.PerfPerWatt(conv, b))
+		r.FPGAFCNRaw = append(r.FPGAFCNRaw, fRaw.PerfPerWatt(fcn, b))
+		r.FPGAFCNOpt = append(r.FPGAFCNOpt, fOpt.PerfPerWatt(fcn, b))
+	}
+	return r
+}
+
+// Table renders the figure.
+func (r Fig14Result) Table() *metrics.Table {
+	t := metrics.NewTable("Fig. 14 — per-family perf/W vs batch (img/s/W)",
+		"batch", "GPU CONV", "GPU FCN", "FPGA CONV", "FPGA FCN", "FPGA FCN+batch")
+	for i, b := range r.Batches {
+		t.AddRow(fmt.Sprintf("%d", b),
+			fmt.Sprintf("%.2f", r.GPUConvPerfW[i]),
+			fmt.Sprintf("%.2f", r.GPUFCNPerfW[i]),
+			fmt.Sprintf("%.2f", r.FPGAConvPerfW[i]),
+			fmt.Sprintf("%.2f", r.FPGAFCNRaw[i]),
+			fmt.Sprintf("%.2f", r.FPGAFCNOpt[i]))
+	}
+	return t
+}
+
+// Fig15Result carries resource utilization per batch.
+type Fig15Result struct {
+	Batches  []int
+	GPUUtil  []float64
+	FPGAUtil []float64
+}
+
+// Fig15 reproduces "A Comparison of Resource Utilization": eq. (3) vs
+// eq. (4), ops-weighted over AlexNet CONV layers.
+func Fig15() Fig15Result {
+	g := gpusim.New(device.TX1())
+	engine := fpgasim.BestNWSEngine(device.VX690T().DSPSlices, models.AlexNet().ConvLayers())
+	r := Fig15Result{Batches: Batches}
+	layers := models.AlexNet().ConvLayers()
+	for _, b := range Batches {
+		var gNum, fNum, den float64
+		for _, l := range layers {
+			ops := float64(l.Ops())
+			gNum += g.Utilization(l, b) * ops
+			fNum += engine.Utilization(l) * ops
+			den += ops
+		}
+		r.GPUUtil = append(r.GPUUtil, gNum/den)
+		r.FPGAUtil = append(r.FPGAUtil, fNum/den)
+	}
+	return r
+}
+
+// Table renders the figure.
+func (r Fig15Result) Table() *metrics.Table {
+	t := metrics.NewTable("Fig. 15 — CONV resource utilization vs batch",
+		"batch", "GPU util (eq.3)", "FPGA util (eq.4)")
+	for i, b := range r.Batches {
+		t.AddRow(fmt.Sprintf("%d", b),
+			fmt.Sprintf("%.3f", r.GPUUtil[i]),
+			fmt.Sprintf("%.3f", r.FPGAUtil[i]))
+	}
+	return t
+}
+
+// Fig16Result carries the co-running interference measurement.
+type Fig16Result struct {
+	Batches  []int
+	Solo     []float64
+	CoRun    []float64
+	Slowdown []float64
+}
+
+// Fig16 reproduces "Interference between Inference and Diagnosis" on the
+// GPU: AlexNet inference latency with and without the diagnosis task.
+func Fig16() Fig16Result {
+	g := gpusim.New(device.TX1())
+	inf := models.AlexNet()
+	diag := models.DiagnosisSpec(inf, 100)
+	m := gpusim.DefaultInterference()
+	r := Fig16Result{Batches: Batches}
+	for _, b := range Batches {
+		solo := g.NetTime(inf, b).TotalTime()
+		co := g.CoRunInferenceLatency(inf, diag, b, m)
+		r.Solo = append(r.Solo, solo)
+		r.CoRun = append(r.CoRun, co)
+		r.Slowdown = append(r.Slowdown, co/solo)
+	}
+	return r
+}
+
+// Table renders the figure.
+func (r Fig16Result) Table() *metrics.Table {
+	t := metrics.NewTable("Fig. 16 — GPU co-running interference (AlexNet)",
+		"batch", "solo (ms)", "co-run (ms)", "slowdown")
+	for i, b := range r.Batches {
+		t.AddRow(fmt.Sprintf("%d", b),
+			fmt.Sprintf("%.2f", r.Solo[i]*1e3),
+			fmt.Sprintf("%.2f", r.CoRun[i]*1e3),
+			fmt.Sprintf("%.2fx", r.Slowdown[i]))
+	}
+	return t
+}
+
+// Fig21Result carries the time-model speedup study.
+type Fig21Result struct {
+	Nets        []string
+	Budgets     []float64
+	Speedups    map[string][]float64 // time-model pick over non-batch
+	BestCase    map[string][]float64 // brute-force oracle over non-batch
+	AvgSpeedup  map[string]float64
+	AvgBestCase map[string]float64
+}
+
+// Fig21 reproduces "Speedups over Non-batch Method on GPU" across
+// latency budgets for AlexNet and VGGNet, with the brute-force best case.
+func Fig21() Fig21Result {
+	g := gpusim.New(device.TX1())
+	budgets := []float64{0.1, 0.2, 0.4, 0.8}
+	r := Fig21Result{
+		Nets:        []string{"AlexNet", "VGGNet"},
+		Budgets:     budgets,
+		Speedups:    map[string][]float64{},
+		BestCase:    map[string][]float64{},
+		AvgSpeedup:  map[string]float64{},
+		AvgBestCase: map[string]float64{},
+	}
+	for _, spec := range []models.NetSpec{models.AlexNet(), models.VGGNet()} {
+		base := g.NetTime(spec, 1).Throughput()
+		for _, treq := range budgets {
+			sp := planner.SpeedupOverNonBatch(g, spec, treq, 128)
+			r.Speedups[spec.Name] = append(r.Speedups[spec.Name], sp)
+			bb, ok := planner.BruteForceBest(g, spec, treq, 128)
+			best := 1.0
+			if ok {
+				best = g.NetTime(spec, bb).Throughput() / base
+			}
+			r.BestCase[spec.Name] = append(r.BestCase[spec.Name], best)
+			r.AvgSpeedup[spec.Name] += sp / float64(len(budgets))
+			r.AvgBestCase[spec.Name] += best / float64(len(budgets))
+		}
+	}
+	return r
+}
+
+// Table renders the figure.
+func (r Fig21Result) Table() *metrics.Table {
+	t := metrics.NewTable("Fig. 21 — speedup over non-batching (time model vs best case)",
+		"net", "budget (ms)", "time model", "best case")
+	for _, net := range r.Nets {
+		for i, b := range r.Budgets {
+			t.AddRow(net, fmt.Sprintf("%.0f", b*1e3),
+				fmt.Sprintf("%.2fx", r.Speedups[net][i]),
+				fmt.Sprintf("%.2fx", r.BestCase[net][i]))
+		}
+		t.AddRow(net, "avg",
+			fmt.Sprintf("%.2fx", r.AvgSpeedup[net]),
+			fmt.Sprintf("%.2fx", r.AvgBestCase[net]))
+	}
+	return t
+}
+
+// Fig22Result carries the three-architecture CONV comparison.
+type Fig22Result struct {
+	Shared  []int // CONV-i sharing strategies
+	Results map[int]map[string]fpgasim.ConvRunResult
+}
+
+// Fig22 reproduces "Runtime Comparison on CONV layers" with 2628 PEs.
+func Fig22() Fig22Result {
+	spec := device.VX690T()
+	w := fpgasim.NewCoRunWorkload(models.AlexNet())
+	const pe = 2628
+	r := Fig22Result{Shared: []int{0, 3, 5}, Results: map[int]map[string]fpgasim.ConvRunResult{}}
+	for _, s := range r.Shared {
+		r.Results[s] = map[string]fpgasim.ConvRunResult{
+			"NWS": fpgasim.RunNWS(spec, pe, w, s),
+			"WS":  fpgasim.RunWS(spec, pe, w, s),
+			"WSS": fpgasim.RunWSS(spec, pe, w, s),
+		}
+	}
+	return r
+}
+
+// Table renders the figure.
+func (r Fig22Result) Table() *metrics.Table {
+	t := metrics.NewTable("Fig. 22 — CONV runtime: NWS vs WS vs WSS (2628 PEs, AlexNet co-run)",
+		"sharing", "arch", "compute (ms)", "data (ms)", "total (ms)", "diag idle")
+	for _, s := range r.Shared {
+		for _, arch := range []string{"NWS", "WS", "WSS"} {
+			res := r.Results[s][arch]
+			t.AddRow(fmt.Sprintf("CONV-%d", s), arch,
+				fmt.Sprintf("%.2f", res.ComputeTime*1e3),
+				fmt.Sprintf("%.2f", res.DataTime*1e3),
+				fmt.Sprintf("%.2f", res.Total()*1e3),
+				fmt.Sprintf("%.0f%%", res.DiagIdleFrac*100))
+		}
+	}
+	return t
+}
+
+// Fig23Result carries the pipeline throughput study.
+type Fig23Result struct {
+	Latencies []float64
+	Archs     []fpgasim.ConvArch
+	// Plans[arch][i] is the plan at Latencies[i].
+	Plans map[fpgasim.ConvArch][]fpgasim.PlanResult
+}
+
+// Fig23 reproduces "Overall Performance Comparison": max throughput per
+// architecture under each latency requirement.
+func Fig23() Fig23Result {
+	spec := device.VX690T()
+	w := fpgasim.NewCoRunWorkload(models.AlexNet())
+	r := Fig23Result{
+		Latencies: []float64{0.05, 0.1, 0.2, 0.4, 0.8},
+		Archs:     []fpgasim.ConvArch{fpgasim.ArchNWS, fpgasim.ArchNWSBatch, fpgasim.ArchWS, fpgasim.ArchWSSNWS},
+		Plans:     map[fpgasim.ConvArch][]fpgasim.PlanResult{},
+	}
+	for _, arch := range r.Archs {
+		p, err := fpgasim.NewPipeline(spec, arch, w, 3)
+		if err != nil {
+			panic(err)
+		}
+		for _, treq := range r.Latencies {
+			r.Plans[arch] = append(r.Plans[arch], p.MaxThroughputUnderLatency(treq, 256))
+		}
+	}
+	return r
+}
+
+// Table renders the figure.
+func (r Fig23Result) Table() *metrics.Table {
+	cols := []string{"latency req (ms)"}
+	for _, a := range r.Archs {
+		cols = append(cols, string(a)+" (img/s)")
+	}
+	t := metrics.NewTable("Fig. 23 — pipeline throughput vs latency requirement", cols...)
+	for i, treq := range r.Latencies {
+		row := []string{fmt.Sprintf("%.0f", treq*1e3)}
+		for _, a := range r.Archs {
+			plan := r.Plans[a][i]
+			if plan.Feasible {
+				row = append(row, fmt.Sprintf("%.1f (B=%d)", plan.Throughput, plan.Bsize))
+			} else {
+				row = append(row, "x")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"insitu/internal/dataset"
+	"insitu/internal/nn"
+	"insitu/internal/train"
+)
+
+// trainNet runs the standard supervised recipe for the given step count.
+func trainNet(net *nn.Network, samples []dataset.Sample, steps int) {
+	train.Run(net, samples, train.DefaultConfig(steps), 0)
+}
+
+// evalNet measures accuracy on a labeled set.
+func evalNet(net *nn.Network, samples []dataset.Sample) float64 {
+	return train.Evaluate(net, samples)
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+)
+
+// Each learning experiment trains several networks; compute each once.
+var (
+	fig5Once sync.Once
+	fig5Res  Fig5Result
+	fig6Once sync.Once
+	fig6Res  Fig6Result
+	fig7Once sync.Once
+	fig7Res  Fig7Result
+)
+
+func fig5(t *testing.T) Fig5Result {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	fig5Once.Do(func() { fig5Res = Fig5(Small) })
+	return fig5Res
+}
+
+func fig6(t *testing.T) Fig6Result {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	fig6Once.Do(func() { fig6Res = Fig6(Small) })
+	return fig6Res
+}
+
+func fig7(t *testing.T) Fig7Result {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	fig7Once.Do(func() { fig7Res = Fig7(Small) })
+	return fig7Res
+}
+
+func TestFig5PretrainQuality(t *testing.T) {
+	r := fig5(t)
+	// The strong source solves the jigsaw task far better than the weak
+	// one — the premise of the green-vs-orange lines in the paper.
+	if r.StrongAcc <= r.WeakAcc {
+		t.Fatalf("strong pre-train (%v) not above weak (%v)", r.StrongAcc, r.WeakAcc)
+	}
+	if r.StrongAcc < 0.5 {
+		t.Fatalf("strong jigsaw accuracy only %v", r.StrongAcc)
+	}
+	n := len(r.Checkpoints)
+	if len(r.Scratch) != n || len(r.WeakPre) != n || len(r.StrongPre) != n {
+		t.Fatal("curve lengths inconsistent")
+	}
+}
+
+func TestFig5TransferHelps(t *testing.T) {
+	r := fig5(t)
+	n := len(r.Checkpoints)
+	// Final accuracy: transfer from the strong source must not lose to
+	// scratch (tiny-scale training is noisy; allow a small tolerance).
+	if r.StrongPre[n-1] < r.Scratch[n-1]-0.05 {
+		t.Fatalf("strong transfer (%v) clearly below scratch (%v)",
+			r.StrongPre[n-1], r.Scratch[n-1])
+	}
+}
+
+func TestFig6TimeFallsWithLocking(t *testing.T) {
+	r := fig6(t)
+	if len(r.Locked) != 6 {
+		t.Fatalf("want CONV-0..5, got %v", r.Locked)
+	}
+	// Measured fine-tune time: CONV-5 clearly cheaper than CONV-0.
+	if r.TrainSeconds[5] >= r.TrainSeconds[0] {
+		t.Fatalf("locking everything did not save time: %v vs %v",
+			r.TrainSeconds[5], r.TrainSeconds[0])
+	}
+	// Modeled full-scale speedup strictly increases with locking.
+	for i := 1; i < len(r.ModelSpeedup); i++ {
+		if r.ModelSpeedup[i] <= r.ModelSpeedup[i-1] {
+			t.Fatalf("model speedup not increasing at CONV-%d: %v", i, r.ModelSpeedup)
+		}
+	}
+}
+
+func TestFig6AccuracyOrdering(t *testing.T) {
+	r := fig6(t)
+	// Freezing the whole stack cannot beat full fine-tuning by more than
+	// noise; typically it is clearly worse (paper: 59% vs 34%).
+	if r.Accuracy[5] > r.Accuracy[0]+0.05 {
+		t.Fatalf("CONV-5 (%v) should not beat CONV-0 (%v)", r.Accuracy[5], r.Accuracy[0])
+	}
+}
+
+func TestFig7ErrDataEfficiency(t *testing.T) {
+	r := fig7(t)
+	// Net-Err uses far less data than Net-all.
+	if r.Samples["Net-Err"] >= r.Samples["Net-all"] {
+		t.Fatalf("Net-Err samples %d not below Net-all %d",
+			r.Samples["Net-Err"], r.Samples["Net-all"])
+	}
+	if r.Samples["Net-base"] != 0 {
+		t.Fatal("Net-base must not retrain")
+	}
+	// And takes less time.
+	if r.Seconds["Net-Err"] >= r.Seconds["Net-all"] {
+		t.Fatalf("Net-Err time %v not below Net-all %v",
+			r.Seconds["Net-Err"], r.Seconds["Net-all"])
+	}
+}
+
+func TestFig7ErrNearlyMatchesAll(t *testing.T) {
+	r := fig7(t)
+	// The paper's claim: fine-tuning on the misclassified images nearly
+	// matches fine-tuning on everything.
+	if r.Accuracy["Net-Err"] < r.Accuracy["Net-all"]-0.12 {
+		t.Fatalf("Net-Err (%v) far below Net-all (%v)",
+			r.Accuracy["Net-Err"], r.Accuracy["Net-all"])
+	}
+	// And improves on the un-tuned base.
+	if r.Accuracy["Net-Err"] < r.Accuracy["Net-base"]-0.02 {
+		t.Fatalf("Net-Err (%v) below base (%v)",
+			r.Accuracy["Net-Err"], r.Accuracy["Net-base"])
+	}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+
+	"insitu/internal/core"
+	"insitu/internal/metrics"
+)
+
+// SystemScale sizes the closed-loop experiments (Table II, Fig. 25). The
+// paper's stages are 100k/200k/400k/800k/1200k images; these are the
+// same schedule scaled to a single CPU core.
+type SystemScale struct {
+	Bootstrap int
+	Stages    []int
+	Classes   int
+	Perms     int
+	Seed      uint64
+}
+
+// SmallSystem is the test-suite scale.
+var SmallSystem = SystemScale{Bootstrap: 96, Stages: []int{64, 96}, Classes: 4, Perms: 6, Seed: 31}
+
+// PaperSystem is the benchmark scale (stage sizes in the paper's 1:2:4:8:12
+// proportions, ÷1000).
+var PaperSystem = SystemScale{Bootstrap: 100, Stages: []int{200, 400, 800, 1200}, Classes: 5, Perms: 8, Seed: 31}
+
+// RunSystems executes the four-variant comparison at the given scale.
+func RunSystems(s SystemScale) *core.Comparison {
+	return core.RunComparison(s.Seed, s.Bootstrap, s.Stages, func(c *core.Config) {
+		c.Classes = s.Classes
+		c.PermClasses = s.Perms
+	})
+}
+
+// TableIIResult carries the normalized data-movement table.
+type TableIIResult struct {
+	Stages []int // stage indices, 0 = bootstrap
+	AB     []float64
+	CD     []float64
+	// Accuracy is the In-situ AI variant's deployed accuracy per stage.
+	Accuracy []float64
+}
+
+// TableII reproduces "A Comparison of Normalized Data Movement": the a/b
+// variants move everything (ratio 1); the c/d variants' ratio falls as
+// the model improves.
+func TableII(cmp *core.Comparison) TableIIResult {
+	n := len(cmp.Reports[core.SystemCloudAll])
+	r := TableIIResult{}
+	for stage := 0; stage < n; stage++ {
+		r.Stages = append(r.Stages, stage)
+		r.AB = append(r.AB, cmp.DataMovementRatio(core.SystemCloudDiagnosis, stage))
+		r.CD = append(r.CD, cmp.DataMovementRatio(core.SystemInSituAI, stage))
+		r.Accuracy = append(r.Accuracy, cmp.Reports[core.SystemInSituAI][stage].NodeAccuracy)
+	}
+	return r
+}
+
+// Table renders the result.
+func (r TableIIResult) Table() *metrics.Table {
+	cols := append([]string{"IoT system"}, sprintStages(r.Stages)...)
+	t := metrics.NewTable("Table II — normalized data movement per stage", cols...)
+	abRow := []string{"a/b"}
+	cdRow := []string{"c/d"}
+	accRow := []string{"accuracy (d)"}
+	for i := range r.Stages {
+		abRow = append(abRow, fmt.Sprintf("%.2f", r.AB[i]))
+		cdRow = append(cdRow, fmt.Sprintf("%.2f", r.CD[i]))
+		accRow = append(accRow, fmt.Sprintf("%.2f", r.Accuracy[i]))
+	}
+	t.AddRow(abRow...)
+	t.AddRow(cdRow...)
+	t.AddRow(accRow...)
+	return t
+}
+
+func sprintStages(stages []int) []string {
+	out := make([]string, len(stages))
+	for i, s := range stages {
+		if s == 0 {
+			out[i] = "bootstrap"
+		} else {
+			out[i] = fmt.Sprintf("stage %d", s)
+		}
+	}
+	return out
+}
+
+// Fig25Result carries the Cloud energy / model-update-time comparison.
+type Fig25Result struct {
+	Kinds []core.SystemKind
+	// EnergyJ and UpdateSeconds are cumulative over all stages.
+	EnergyJ       map[core.SystemKind]float64
+	UpdateSeconds map[core.SystemKind]float64
+	// SpeedupVsA is per-stage: In-situ AI update speedup over variant a.
+	SpeedupVsA []float64
+	// Headline savings of the In-situ AI variant.
+	DataMovementSaving float64
+	EnergySaving       float64
+}
+
+// Fig25 reproduces "Energy Consumption and Model Update Time" across the
+// four IoT systems, plus the headline savings.
+func Fig25(cmp *core.Comparison) Fig25Result {
+	r := Fig25Result{
+		Kinds:         core.AllKinds(),
+		EnergyJ:       map[core.SystemKind]float64{},
+		UpdateSeconds: map[core.SystemKind]float64{},
+	}
+	for _, k := range r.Kinds {
+		cost := cmp.CumulativeCloudCost(k)
+		r.EnergyJ[k] = cost.Joules + cmp.CumulativeUplinkJoules(k)
+		r.UpdateSeconds[k] = cost.Seconds
+	}
+	for stage := 1; stage < len(cmp.Reports[core.SystemInSituAI]); stage++ {
+		r.SpeedupVsA = append(r.SpeedupVsA, cmp.UpdateSpeedup(core.SystemInSituAI, stage))
+	}
+	r.DataMovementSaving = cmp.DataMovementSaving(core.SystemInSituAI)
+	r.EnergySaving = cmp.EnergySaving(core.SystemInSituAI)
+	return r
+}
+
+// Table renders the result.
+func (r Fig25Result) Table() *metrics.Table {
+	t := metrics.NewTable("Fig. 25 — cumulative Cloud energy and model-update time",
+		"system", "energy (J)", "update time (s)")
+	for _, k := range r.Kinds {
+		t.AddRow(k.String(),
+			fmt.Sprintf("%.1f", r.EnergyJ[k]),
+			fmt.Sprintf("%.2f", r.UpdateSeconds[k]))
+	}
+	speedups := "speedup d vs a per stage:"
+	for _, s := range r.SpeedupVsA {
+		speedups += fmt.Sprintf(" %.2fx", s)
+	}
+	t.AddRow(speedups)
+	t.AddRow(fmt.Sprintf("data movement saving %.0f%%, energy saving %.0f%%",
+		r.DataMovementSaving*100, r.EnergySaving*100))
+	return t
+}

@@ -1,0 +1,93 @@
+package gpusched
+
+// Co-running kernel-contention simulation: the dynamic counterpart of
+// gpusim's closed-form interference model (paper Fig. 16). A single
+// non-preemptive device serves two kernel streams — periodic inference
+// kernels and a continuously backlogged diagnosis stream — FCFS with a
+// fair interleave: after each completed kernel the other stream's oldest
+// kernel (if any) runs next. An inference kernel arriving mid-diagnosis
+// must wait out the residual kernel plus a context-switch overhead,
+// which is exactly where the measured 3× slowdowns come from.
+
+// CoRunConfig parameterizes the contention simulation.
+type CoRunConfig struct {
+	// InferenceKernel is the duration of one inference batch (s).
+	InferenceKernel float64
+	// InferenceInterval is the arrival period of inference batches (s).
+	InferenceInterval float64
+	// DiagnosisKernel is the duration of one diagnosis kernel (s); the
+	// diagnosis stream is always backlogged (it defers work, so there is
+	// always more).
+	DiagnosisKernel float64
+	// SwitchOverhead is the context-switch/cache-refill penalty added to
+	// each inference kernel that preempts the diagnosis stream (s).
+	SwitchOverhead float64
+	// Horizon is the simulated time span (s).
+	Horizon float64
+}
+
+// CoRunResult reports the contention outcome.
+type CoRunResult struct {
+	InferenceBatches int
+	// AvgLatency and MaxLatency are inference batch response times
+	// (arrival → completion).
+	AvgLatency float64
+	MaxLatency float64
+	// Slowdown is AvgLatency over the solo kernel duration.
+	Slowdown float64
+	// DiagnosisKernels completed within the horizon.
+	DiagnosisKernels int
+}
+
+// SimulateCoRun runs the event simulation.
+func SimulateCoRun(cfg CoRunConfig) CoRunResult {
+	if cfg.InferenceKernel <= 0 || cfg.InferenceInterval <= 0 || cfg.Horizon <= 0 {
+		panic("gpusched: invalid co-run config")
+	}
+	var (
+		now      float64 // device-free time
+		totalLat float64
+		res      CoRunResult
+	)
+	nextInference := 0.0
+	for nextInference < cfg.Horizon {
+		arrival := nextInference
+		// Until the inference arrival, the diagnosis stream keeps the
+		// device busy with back-to-back kernels.
+		if cfg.DiagnosisKernel > 0 {
+			for now+cfg.DiagnosisKernel <= arrival {
+				now += cfg.DiagnosisKernel
+				res.DiagnosisKernels++
+			}
+			// One more diagnosis kernel is in flight when inference
+			// arrives (non-preemptive): it started before the arrival if
+			// the device was free.
+			if now <= arrival {
+				now += cfg.DiagnosisKernel
+				res.DiagnosisKernels++
+			}
+		}
+		start := now
+		if start < arrival {
+			start = arrival
+		}
+		overhead := 0.0
+		if cfg.DiagnosisKernel > 0 {
+			overhead = cfg.SwitchOverhead
+		}
+		done := start + overhead + cfg.InferenceKernel
+		now = done
+		lat := done - arrival
+		totalLat += lat
+		if lat > res.MaxLatency {
+			res.MaxLatency = lat
+		}
+		res.InferenceBatches++
+		nextInference += cfg.InferenceInterval
+	}
+	if res.InferenceBatches > 0 {
+		res.AvgLatency = totalLat / float64(res.InferenceBatches)
+	}
+	res.Slowdown = res.AvgLatency / cfg.InferenceKernel
+	return res
+}

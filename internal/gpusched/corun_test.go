@@ -1,0 +1,94 @@
+package gpusched
+
+import (
+	"math"
+	"testing"
+
+	"insitu/internal/device"
+	"insitu/internal/gpusim"
+	"insitu/internal/models"
+	"insitu/internal/node"
+)
+
+func TestCoRunNoDiagnosisNoSlowdown(t *testing.T) {
+	r := SimulateCoRun(CoRunConfig{
+		InferenceKernel:   0.01,
+		InferenceInterval: 0.1,
+		DiagnosisKernel:   0,
+		Horizon:           10,
+	})
+	if math.Abs(r.Slowdown-1) > 1e-9 {
+		t.Fatalf("solo slowdown = %v", r.Slowdown)
+	}
+	if r.DiagnosisKernels != 0 {
+		t.Fatalf("phantom diagnosis kernels: %d", r.DiagnosisKernels)
+	}
+}
+
+func TestCoRunSlowdownGrowsWithDiagnosisKernel(t *testing.T) {
+	base := CoRunConfig{
+		InferenceKernel:   0.014,
+		InferenceInterval: 0.2,
+		SwitchOverhead:    0.002,
+		Horizon:           20,
+	}
+	prev := 1.0
+	for _, dk := range []float64{0.01, 0.03, 0.06} {
+		cfg := base
+		cfg.DiagnosisKernel = dk
+		r := SimulateCoRun(cfg)
+		if r.Slowdown <= prev {
+			t.Fatalf("slowdown not growing with diagnosis kernel %v: %v <= %v", dk, r.Slowdown, prev)
+		}
+		prev = r.Slowdown
+	}
+}
+
+// The dynamic simulation lands in the same regime as the closed-form
+// interference model for the paper's AlexNet pair: around 3×.
+func TestCoRunMatchesClosedFormRegime(t *testing.T) {
+	sim := gpusim.New(device.TX1())
+	inf := models.AlexNet()
+	diag := models.DiagnosisSpec(inf, 100)
+	infKernel := sim.NetTime(inf, 1).TotalTime()
+	// One diagnosis kernel = one image's 9-patch diagnosis pass.
+	diagKernel := node.DiagnosisTime(sim, diag, 1)
+	r := SimulateCoRun(CoRunConfig{
+		InferenceKernel:   infKernel,
+		InferenceInterval: infKernel * 4, // camera slower than the GPU
+		DiagnosisKernel:   diagKernel,
+		SwitchOverhead:    0.002,
+		Horizon:           30,
+	})
+	closed := gpusim.DefaultInterference().CoRunSlowdown(gpusim.DiagnosisLoad(inf, diag))
+	if r.Slowdown < 1.5 || r.Slowdown > 5 {
+		t.Fatalf("dynamic slowdown = %v, implausible", r.Slowdown)
+	}
+	// Same regime as the calibrated closed form (within 2×).
+	if r.Slowdown > closed*2 || r.Slowdown < closed/2 {
+		t.Fatalf("dynamic %v vs closed form %v diverge", r.Slowdown, closed)
+	}
+}
+
+func TestCoRunDiagnosisMakesProgress(t *testing.T) {
+	r := SimulateCoRun(CoRunConfig{
+		InferenceKernel:   0.01,
+		InferenceInterval: 0.1,
+		DiagnosisKernel:   0.02,
+		Horizon:           10,
+	})
+	// The diagnosis stream fills the gaps: it should complete a large
+	// number of kernels.
+	if r.DiagnosisKernels < 100 {
+		t.Fatalf("diagnosis starved: %d kernels", r.DiagnosisKernels)
+	}
+}
+
+func TestCoRunPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad config accepted")
+		}
+	}()
+	SimulateCoRun(CoRunConfig{})
+}

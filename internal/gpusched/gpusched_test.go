@@ -1,0 +1,147 @@
+package gpusched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"insitu/internal/device"
+	"insitu/internal/gpusim"
+	"insitu/internal/models"
+	"insitu/internal/tensor"
+)
+
+func TestRunUniformMatchesClosedForm(t *testing.T) {
+	s := Scheduler{MaxBlocks: 32}
+	for _, grid := range []int{1, 31, 32, 33, 64, 100, 1000} {
+		r := s.RunUniform(grid, 100)
+		waves := (grid + 31) / 32
+		if r.Makespan != int64(waves)*100 {
+			t.Fatalf("grid %d: makespan %d, want %d", grid, r.Makespan, int64(waves)*100)
+		}
+		if got, want := r.Utilization(32), Eq3Utilization(grid, 32); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("grid %d: util %v, want eq3 %v", grid, got, want)
+		}
+	}
+}
+
+// The event simulation with uniform durations reproduces the fast path —
+// eq. (3) is exactly the uniform special case of the scheduler.
+func TestEventSimMatchesUniform(t *testing.T) {
+	s := Scheduler{MaxBlocks: 8}
+	for _, grid := range []int{1, 7, 8, 9, 30, 64} {
+		durations := make([]int64, grid)
+		for i := range durations {
+			durations[i] = 50
+		}
+		ev := s.Run(durations)
+		un := s.RunUniform(grid, 50)
+		if ev.Makespan != un.Makespan || ev.BusyCycles != un.BusyCycles {
+			t.Fatalf("grid %d: event (%d,%d) vs uniform (%d,%d)",
+				grid, ev.Makespan, ev.BusyCycles, un.Makespan, un.BusyCycles)
+		}
+	}
+}
+
+// gpusim's per-layer utilization (eq. 3) agrees with a full block-level
+// simulation of the same grid — the validation this package exists for.
+func TestGpusimUtilizationValidated(t *testing.T) {
+	sim := gpusim.New(device.TX1())
+	sched := Scheduler{MaxBlocks: device.TX1().MaxBlocks}
+	for _, l := range models.AlexNet().Layers {
+		for _, batch := range []int{1, 4, 16} {
+			grid := sim.GridSize(l, batch)
+			r := sched.RunUniform(grid, 1000)
+			simUtil := sim.Utilization(l, batch)
+			schedUtil := r.Utilization(sched.MaxBlocks)
+			if math.Abs(simUtil-schedUtil) > 1e-9 {
+				t.Fatalf("%s@%d: gpusim %v vs scheduler %v", l.Name, batch, simUtil, schedUtil)
+			}
+		}
+	}
+}
+
+func TestHeterogeneousTailEffect(t *testing.T) {
+	// One long straggler block at the end lowers utilization below the
+	// uniform closed form — the effect eq. (3) hides.
+	s := Scheduler{MaxBlocks: 4}
+	durations := []int64{10, 10, 10, 10, 10, 10, 10, 100}
+	r := s.Run(durations)
+	uniform := Eq3Utilization(len(durations), 4)
+	if got := r.Utilization(4); got >= uniform {
+		t.Fatalf("straggler utilization %v should fall below uniform %v", got, uniform)
+	}
+	// Makespan is at least the straggler's duration.
+	if r.Makespan < 100 {
+		t.Fatalf("makespan %d below straggler duration", r.Makespan)
+	}
+}
+
+func TestRunPanicsOnBadInput(t *testing.T) {
+	s := Scheduler{MaxBlocks: 4}
+	for _, f := range []func(){
+		func() { s.Run(nil) },
+		func() { s.Run([]int64{5, 0}) },
+		func() { s.RunUniform(0, 5) },
+		func() { s.RunUniform(5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad input accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: makespan is bounded below by both the critical path (longest
+// block) and the capacity bound (busy / maxBlocks), and above by the
+// serial schedule.
+func TestQuickMakespanBounds(t *testing.T) {
+	r := tensor.NewRNG(1)
+	f := func(n, mb uint8) bool {
+		grid := 1 + int(n)%40
+		maxBlocks := 1 + int(mb)%16
+		s := Scheduler{MaxBlocks: maxBlocks}
+		durations := make([]int64, grid)
+		var longest, total int64
+		for i := range durations {
+			durations[i] = 1 + int64(r.Intn(200))
+			if durations[i] > longest {
+				longest = durations[i]
+			}
+			total += durations[i]
+		}
+		res := s.Run(durations)
+		lower := longest
+		if cb := (total + int64(maxBlocks) - 1) / int64(maxBlocks); cb > lower {
+			lower = cb
+		}
+		return res.Makespan >= lower && res.Makespan <= total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: eq. (3) utilization is always in (0, 1] and equals 1 exactly
+// on full waves.
+func TestQuickEq3Range(t *testing.T) {
+	f := func(g, m uint8) bool {
+		grid := 1 + int(g)
+		maxBlocks := 1 + int(m)%64
+		u := Eq3Utilization(grid, maxBlocks)
+		if u <= 0 || u > 1 {
+			return false
+		}
+		if grid%maxBlocks == 0 && math.Abs(u-1) > 1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

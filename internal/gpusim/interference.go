@@ -1,0 +1,61 @@
+package gpusim
+
+import "insitu/internal/models"
+
+// Co-running interference model (paper Fig. 16): when the diagnosis task
+// shares the GPU with the inference task, kernels from both tasks
+// time-slice the device and evict each other's cache/memory-controller
+// state. The paper measures inference slowdowns up to 3×.
+//
+// The model: the diagnosis task presents a continuous background load
+// expressed as its demanded fraction of device throughput. Inference
+// kernels then receive a 1/(1+load) share of the device, plus a
+// contention penalty for scheduler churn and cache interference that
+// grows with the background load.
+
+// InterferenceModel captures the co-running slowdown parameters.
+type InterferenceModel struct {
+	// ContentionFactor converts background load into inference slowdown:
+	// slowdown = 1 + ContentionFactor × load. The default 0.85 calibrates
+	// the AlexNet inference + 9-patch diagnosis pair (load ≈ 2.3) to the
+	// paper's ~3× worst case.
+	ContentionFactor float64
+}
+
+// DefaultInterference returns the calibrated model.
+func DefaultInterference() InterferenceModel { return InterferenceModel{ContentionFactor: 0.85} }
+
+// DiagnosisLoad returns the background load the diagnosis task places on
+// the device: the ratio of diagnosis work rate to inference work rate
+// when both run continuously. The diagnosis task processes 9 patches per
+// image through the shared CONV stack (at quarter spatial size) plus its
+// FCN head.
+func DiagnosisLoad(inference, diagnosis models.NetSpec) float64 {
+	infOps := float64(inference.TotalOps())
+	var diagOps float64
+	for _, l := range diagnosis.Layers {
+		if l.Kind == models.Conv {
+			diagOps += 9 * float64(l.Ops())
+		} else {
+			diagOps += float64(l.Ops())
+		}
+	}
+	return diagOps / infOps
+}
+
+// CoRunSlowdown returns the multiplicative latency factor the inference
+// task suffers when a background diagnosis load co-runs: fair-share loss
+// plus contention penalty.
+func (m InterferenceModel) CoRunSlowdown(load float64) float64 {
+	if load <= 0 {
+		return 1
+	}
+	return 1 + m.ContentionFactor*load
+}
+
+// CoRunInferenceLatency evaluates the inference batch latency with the
+// diagnosis task co-running.
+func (s *Sim) CoRunInferenceLatency(inference, diagnosis models.NetSpec, batch int, m InterferenceModel) float64 {
+	solo := s.NetTime(inference, batch).TotalTime()
+	return solo * m.CoRunSlowdown(DiagnosisLoad(inference, diagnosis))
+}

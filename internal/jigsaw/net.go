@@ -1,0 +1,94 @@
+package jigsaw
+
+import (
+	"fmt"
+
+	"insitu/internal/models"
+	"insitu/internal/nn"
+	"insitu/internal/tensor"
+)
+
+// Regroup folds the tile dimension back into the feature dimension:
+// forward reshapes [B·G, F] → [B, G·F]. It makes the 9 tiles share one
+// trunk (the paper's second level of weight sharing — all patches use the
+// same CONV weights) while letting the head see all tiles jointly.
+type Regroup struct {
+	name  string
+	Group int
+}
+
+// NewRegroup returns a Regroup layer folding groups of g rows.
+func NewRegroup(name string, g int) *Regroup { return &Regroup{name: name, Group: g} }
+
+// Name implements nn.Layer.
+func (l *Regroup) Name() string { return l.name }
+
+// Params implements nn.Layer.
+func (l *Regroup) Params() []*nn.Param { return nil }
+
+// Forward implements nn.Layer.
+func (l *Regroup) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	bg, f := x.Dim(0), x.Dim(1)
+	if bg%l.Group != 0 {
+		panic(fmt.Sprintf("jigsaw: regroup input rows %d not divisible by %d", bg, l.Group))
+	}
+	return x.Reshape(bg/l.Group, l.Group*f)
+}
+
+// Backward implements nn.Layer.
+func (l *Regroup) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	b, gf := dy.Dim(0), dy.Dim(1)
+	return dy.Reshape(b*l.Group, gf/l.Group)
+}
+
+// NewNet builds the jigsaw (diagnosis/unsupervised) network: the shared
+// per-patch trunk (conv1..conv3, weight-compatible with TinyAlex),
+// flatten, regroup over the 9 tiles, and a 2-layer FCN head classifying
+// the permutation index over permClasses classes.
+func NewNet(permClasses int, seed uint64) *nn.Network {
+	r := tensor.NewRNG(seed)
+	layers := models.JigsawTrunk(r)
+	layers = append(layers,
+		nn.NewFlatten("flat"),
+		NewRegroup("regroup", GridTiles),
+		nn.NewDense("fc_jig1", GridTiles*models.JigsawTrunkFeatures, 128, r),
+		nn.NewReLU("relu_jig1"),
+		nn.NewDense("fc_jig2", 128, permClasses, r),
+	)
+	return nn.NewNetwork("JigsawNet", layers...)
+}
+
+// Trainer drives unsupervised pre-training of a jigsaw net on unlabeled
+// images.
+type Trainer struct {
+	Net *nn.Network
+	Set *PermSet
+	Opt *nn.SGD
+	rng *tensor.RNG
+}
+
+// NewTrainer wires a jigsaw net, permutation set and optimizer.
+func NewTrainer(net *nn.Network, set *PermSet, lr float32, seed uint64) *Trainer {
+	return &Trainer{
+		Net: net,
+		Set: set,
+		Opt: nn.NewSGD(lr, 0.9, 1e-4),
+		rng: tensor.NewRNG(seed),
+	}
+}
+
+// Step runs one unsupervised training step on a batch of unlabeled
+// images, returning the task loss and accuracy.
+func (t *Trainer) Step(images []*tensor.Tensor) (loss, acc float64) {
+	x, labels := RandomBatch(images, t.Set, t.rng)
+	loss, acc = t.Net.TrainStep(x, labels)
+	t.Opt.Step(t.Net.Params())
+	return loss, acc
+}
+
+// Evaluate measures permutation-prediction accuracy on unlabeled images
+// (each probed with one random permutation).
+func (t *Trainer) Evaluate(images []*tensor.Tensor) float64 {
+	x, labels := RandomBatch(images, t.Set, t.rng)
+	return t.Net.Evaluate(x, labels)
+}

@@ -1,0 +1,71 @@
+package jigsaw
+
+import (
+	"fmt"
+
+	"insitu/internal/models"
+	"insitu/internal/tensor"
+)
+
+// Tile extracts tile t (row-major in the 3×3 grid) of an image shaped
+// [C, ImgSize, ImgSize] into dst shaped [C, PatchSize, PatchSize].
+func Tile(img *tensor.Tensor, t int, dst *tensor.Tensor) {
+	const P = models.PatchSize
+	if t < 0 || t >= GridTiles {
+		panic(fmt.Sprintf("jigsaw: tile index %d out of range", t))
+	}
+	ty, tx := t/3, t%3
+	c := img.Dim(0)
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < P; y++ {
+			srcBase := (ch*img.Dim(1)+ty*P+y)*img.Dim(2) + tx*P
+			dstBase := (ch*P + y) * P
+			copy(dst.Data[dstBase:dstBase+P], img.Data[srcBase:srcBase+P])
+		}
+	}
+}
+
+// Shuffle builds the jigsaw network input for one image under permutation
+// perm: a [GridTiles, C, P, P] tensor where slot i holds original tile
+// perm[i].
+func Shuffle(img *tensor.Tensor, perm Permutation) *tensor.Tensor {
+	const P = models.PatchSize
+	c := img.Dim(0)
+	out := tensor.New(GridTiles, c, P, P)
+	per := c * P * P
+	for slot, orig := range perm {
+		dst := tensor.FromSlice(out.Data[slot*per:(slot+1)*per], c, P, P)
+		Tile(img, orig, dst)
+	}
+	return out
+}
+
+// Batch packs n jigsaw samples into the network input layout
+// [n·GridTiles, C, P, P] plus the permutation-index labels (one per
+// image). images[i] is shuffled by set.At(labels[i]).
+func Batch(images []*tensor.Tensor, labels []int, set *PermSet) *tensor.Tensor {
+	if len(images) != len(labels) {
+		panic("jigsaw: images/labels length mismatch")
+	}
+	const P = models.PatchSize
+	c := images[0].Dim(0)
+	per := c * P * P
+	out := tensor.New(len(images)*GridTiles, c, P, P)
+	for i, img := range images {
+		shuffled := Shuffle(img, set.At(labels[i]))
+		copy(out.Data[i*GridTiles*per:(i+1)*GridTiles*per], shuffled.Data)
+	}
+	return out
+}
+
+// RandomBatch shuffles each image by a random permutation from the set,
+// returning the packed input and the chosen labels. This is how training
+// samples are generated from unlabeled IoT data — the supervisory signal
+// is synthesized from the image itself.
+func RandomBatch(images []*tensor.Tensor, set *PermSet, rng *tensor.RNG) (*tensor.Tensor, []int) {
+	labels := make([]int, len(images))
+	for i := range labels {
+		labels[i] = rng.Intn(set.Len())
+	}
+	return Batch(images, labels, set), labels
+}

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("T", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22")
+	s := tb.String()
+	if !strings.Contains(s, "== T ==") {
+		t.Fatalf("missing title:\n%s", s)
+	}
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "22") {
+		t.Fatalf("missing cells:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	// title + header + rule + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), s)
+	}
+}
+
+func TestAddRowPads(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only")
+	if len(tb.Rows[0]) != 3 {
+		t.Fatalf("row not padded: %v", tb.Rows[0])
+	}
+	tb.AddRow("1", "2", "3", "4")
+	if len(tb.Rows[1]) != 3 {
+		t.Fatalf("row not truncated: %v", tb.Rows[1])
+	}
+}
+
+func TestAddFloats(t *testing.T) {
+	tb := NewTable("", "label", "x", "y")
+	tb.AddFloats("row", "%.2f", 1.234, 5.678)
+	if tb.Rows[0][1] != "1.23" || tb.Rows[0][2] != "5.68" {
+		t.Fatalf("AddFloats = %v", tb.Rows[0])
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x,y", "2")
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Fatalf("bad header: %q", csv)
+	}
+	if !strings.Contains(csv, "x;y,2") {
+		t.Fatalf("comma not sanitized: %q", csv)
+	}
+}
+
+func TestFigureToTable(t *testing.T) {
+	f := NewFigure("F", "batch", "latency")
+	a := f.AddSeries("gpu")
+	b := f.AddSeries("fpga")
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b.Add(1, 30)
+	b.Add(2, 40)
+	tb := f.Table()
+	if len(tb.Columns) != 3 {
+		t.Fatalf("columns = %v", tb.Columns)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if tb.Rows[1][2] != "40" {
+		t.Fatalf("cell = %q", tb.Rows[1][2])
+	}
+}
+
+func TestEmptyFigureTable(t *testing.T) {
+	f := NewFigure("F", "x", "y")
+	tb := f.Table()
+	if len(tb.Rows) != 0 {
+		t.Fatal("empty figure should give empty table")
+	}
+}
+
+func TestSeriesRaggedLengths(t *testing.T) {
+	f := NewFigure("F", "x", "y")
+	a := f.AddSeries("a")
+	b := f.AddSeries("b")
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b.Add(1, 30) // shorter
+	tb := f.Table()
+	if tb.Rows[1][2] != "" {
+		t.Fatalf("missing point should render empty, got %q", tb.Rows[1][2])
+	}
+}

@@ -1,0 +1,146 @@
+package models
+
+import (
+	"insitu/internal/nn"
+	"insitu/internal/tensor"
+)
+
+// Laptop-scale stand-ins for the paper's ImageNet-class networks. The
+// synthetic IoT images are 24×24 RGB so that the jigsaw task divides them
+// into an exact 3×3 grid of 8×8 patches (paper Fig. 3). The host running
+// this reproduction is a single-core simulator box, so the trainable nets
+// are kept deliberately small; all full-scale performance questions go
+// through the analytical device models instead (internal/gpusim,
+// internal/fpgasim).
+const (
+	// ImgSize is the height and width of synthetic IoT images.
+	ImgSize = 24
+	// PatchSize is the side of one jigsaw tile (ImgSize/3).
+	PatchSize = ImgSize / 3
+	// ImgChannels is the number of image channels.
+	ImgChannels = 3
+)
+
+// Conv channel plan shared by TinyAlex and the jigsaw trunk so that
+// transfer learning can copy conv1..conv3 weights between them
+// (paper Figs. 4 and 6).
+const (
+	tinyC1 = 12
+	tinyC2 = 16
+	tinyC3 = 24
+)
+
+// TinyAlex builds the 5-CONV/2-FCN stand-in for AlexNet on 24×24 inputs.
+// Layer names conv1..conv5 deliberately mirror the paper's CONV-i locking
+// notation.
+func TinyAlex(classes int, seed uint64) *nn.Network {
+	r := tensor.NewRNG(seed)
+	return nn.NewNetwork("TinyAlex",
+		nn.NewConv2D("conv1", tensor.Conv2DGeom{InChannels: ImgChannels, InHeight: 24, InWidth: 24, KernelSize: 3, Stride: 1, Padding: 1, OutChannels: tinyC1}, r),
+		nn.NewReLU("relu1"),
+		nn.NewMaxPool2D("pool1", 2, 2), // 12×12
+		nn.NewConv2D("conv2", tensor.Conv2DGeom{InChannels: tinyC1, InHeight: 12, InWidth: 12, KernelSize: 3, Stride: 1, Padding: 1, OutChannels: tinyC2}, r),
+		nn.NewReLU("relu2"),
+		nn.NewMaxPool2D("pool2", 2, 2), // 6×6
+		nn.NewConv2D("conv3", tensor.Conv2DGeom{InChannels: tinyC2, InHeight: 6, InWidth: 6, KernelSize: 3, Stride: 1, Padding: 1, OutChannels: tinyC3}, r),
+		nn.NewReLU("relu3"),
+		nn.NewConv2D("conv4", tensor.Conv2DGeom{InChannels: tinyC3, InHeight: 6, InWidth: 6, KernelSize: 3, Stride: 1, Padding: 1, OutChannels: tinyC3}, r),
+		nn.NewReLU("relu4"),
+		nn.NewConv2D("conv5", tensor.Conv2DGeom{InChannels: tinyC3, InHeight: 6, InWidth: 6, KernelSize: 3, Stride: 1, Padding: 1, OutChannels: tinyC2}, r),
+		nn.NewReLU("relu5"),
+		nn.NewMaxPool2D("pool5", 2, 2), // 3×3
+		nn.NewFlatten("flat"),
+		nn.NewDense("fc6", tinyC2*3*3, 64, r),
+		nn.NewReLU("relu6"),
+		nn.NewDropout("drop6", 0.25, seed^0x5ee0),
+		nn.NewDense("fc7", 64, classes, r),
+	)
+}
+
+// TinyVGG builds the deeper/wider stand-in for VGGNet: six 3×3 CONV
+// layers in three blocks. It is the highest-capacity tiny model, matching
+// VGG's position in Table I.
+func TinyVGG(classes int, seed uint64) *nn.Network {
+	r := tensor.NewRNG(seed)
+	return nn.NewNetwork("TinyVGG",
+		nn.NewConv2D("conv1_1", tensor.Conv2DGeom{InChannels: ImgChannels, InHeight: 24, InWidth: 24, KernelSize: 3, Stride: 1, Padding: 1, OutChannels: 16}, r),
+		nn.NewReLU("relu1_1"),
+		nn.NewConv2D("conv1_2", tensor.Conv2DGeom{InChannels: 16, InHeight: 24, InWidth: 24, KernelSize: 3, Stride: 1, Padding: 1, OutChannels: 16}, r),
+		nn.NewReLU("relu1_2"),
+		nn.NewMaxPool2D("pool1", 2, 2), // 12
+		nn.NewConv2D("conv2_1", tensor.Conv2DGeom{InChannels: 16, InHeight: 12, InWidth: 12, KernelSize: 3, Stride: 1, Padding: 1, OutChannels: 24}, r),
+		nn.NewReLU("relu2_1"),
+		nn.NewConv2D("conv2_2", tensor.Conv2DGeom{InChannels: 24, InHeight: 12, InWidth: 12, KernelSize: 3, Stride: 1, Padding: 1, OutChannels: 24}, r),
+		nn.NewReLU("relu2_2"),
+		nn.NewMaxPool2D("pool2", 2, 2), // 6
+		nn.NewConv2D("conv3_1", tensor.Conv2DGeom{InChannels: 24, InHeight: 6, InWidth: 6, KernelSize: 3, Stride: 1, Padding: 1, OutChannels: 32}, r),
+		nn.NewReLU("relu3_1"),
+		nn.NewConv2D("conv3_2", tensor.Conv2DGeom{InChannels: 32, InHeight: 6, InWidth: 6, KernelSize: 3, Stride: 1, Padding: 1, OutChannels: 32}, r),
+		nn.NewReLU("relu3_2"),
+		nn.NewMaxPool2D("pool3", 2, 2), // 3
+		nn.NewFlatten("flat"),
+		nn.NewDense("fc6", 32*3*3, 96, r),
+		nn.NewReLU("relu6"),
+		nn.NewDropout("drop6", 0.25, seed^0x5ee1),
+		nn.NewDense("fc7", 96, classes, r),
+	)
+}
+
+// TinyGoogLe builds the mid-capacity stand-in for GoogLeNet: 1×1 reduce +
+// 3×3 expand stages approximating flattened inception modules.
+func TinyGoogLe(classes int, seed uint64) *nn.Network {
+	r := tensor.NewRNG(seed)
+	return nn.NewNetwork("TinyGoogLe",
+		nn.NewConv2D("conv1", tensor.Conv2DGeom{InChannels: ImgChannels, InHeight: 24, InWidth: 24, KernelSize: 5, Stride: 1, Padding: 2, OutChannels: 12}, r),
+		nn.NewReLU("relu1"),
+		nn.NewMaxPool2D("pool1", 2, 2), // 12
+		nn.NewConv2D("conv2_reduce", tensor.Conv2DGeom{InChannels: 12, InHeight: 12, InWidth: 12, KernelSize: 1, Stride: 1, Padding: 0, OutChannels: 8}, r),
+		nn.NewReLU("relu2r"),
+		nn.NewConv2D("conv2", tensor.Conv2DGeom{InChannels: 8, InHeight: 12, InWidth: 12, KernelSize: 3, Stride: 1, Padding: 1, OutChannels: 20}, r),
+		nn.NewReLU("relu2"),
+		nn.NewMaxPool2D("pool2", 2, 2), // 6
+		nn.NewConv2D("inc3_reduce", tensor.Conv2DGeom{InChannels: 20, InHeight: 6, InWidth: 6, KernelSize: 1, Stride: 1, Padding: 0, OutChannels: 16}, r),
+		nn.NewReLU("relu3r"),
+		nn.NewConv2D("inc3", tensor.Conv2DGeom{InChannels: 16, InHeight: 6, InWidth: 6, KernelSize: 3, Stride: 1, Padding: 1, OutChannels: 28}, r),
+		nn.NewReLU("relu3"),
+		nn.NewMaxPool2D("pool3", 2, 2), // 3
+		nn.NewFlatten("flat"),
+		nn.NewDense("fc", 28*3*3, 72, r),
+		nn.NewReLU("reluf"),
+		nn.NewDense("fc_out", 72, classes, r),
+	)
+}
+
+// JigsawTrunk builds the shared CONV trunk that processes one 8×8 patch.
+// Its layer names and weight shapes match TinyAlex conv1..conv3, so
+// weights can be copied in either direction — the foundation of the
+// paper's two-level weight sharing.
+func JigsawTrunk(r *tensor.RNG) []nn.Layer {
+	return []nn.Layer{
+		nn.NewConv2D("conv1", tensor.Conv2DGeom{InChannels: ImgChannels, InHeight: PatchSize, InWidth: PatchSize, KernelSize: 3, Stride: 1, Padding: 1, OutChannels: tinyC1}, r),
+		nn.NewReLU("relu1"),
+		nn.NewMaxPool2D("pool1", 2, 2), // 4×4
+		nn.NewConv2D("conv2", tensor.Conv2DGeom{InChannels: tinyC1, InHeight: 4, InWidth: 4, KernelSize: 3, Stride: 1, Padding: 1, OutChannels: tinyC2}, r),
+		nn.NewReLU("relu2"),
+		nn.NewMaxPool2D("pool2", 2, 2), // 2×2
+		nn.NewConv2D("conv3", tensor.Conv2DGeom{InChannels: tinyC2, InHeight: 2, InWidth: 2, KernelSize: 3, Stride: 1, Padding: 1, OutChannels: tinyC3}, r),
+		nn.NewReLU("relu3"),
+	}
+}
+
+// JigsawTrunkFeatures is the per-patch embedding width produced by
+// JigsawTrunk after flattening (24 maps × 2×2).
+const JigsawTrunkFeatures = tinyC3 * 2 * 2
+
+// TinyByName builds the tiny counterpart of a full-size network name.
+// Unknown names fall back to TinyAlex.
+func TinyByName(name string, classes int, seed uint64) *nn.Network {
+	switch name {
+	case "VGGNet", "TinyVGG":
+		return TinyVGG(classes, seed)
+	case "GoogLeNet", "TinyGoogLe":
+		return TinyGoogLe(classes, seed)
+	default:
+		return TinyAlex(classes, seed)
+	}
+}

@@ -1,0 +1,164 @@
+package nn
+
+import (
+	"fmt"
+
+	"insitu/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution layer over batched [B, C, H, W] tensors,
+// implemented as im2col + matrix multiplication exactly as the paper's
+// Fig. 8 describes for the GPU path (Fm × Dm). Work is parallelized
+// across the batch dimension.
+type Conv2D struct {
+	name string
+	Geom tensor.Conv2DGeom
+
+	W *Param // [M, N, K, K]
+	B *Param // [M]
+
+	// caches for backward
+	cols    []*tensor.Tensor // per-sample column matrices (train mode)
+	inShape []int
+	lastBat int
+}
+
+// NewConv2D constructs a convolution layer with He-initialized weights.
+func NewConv2D(name string, g tensor.Conv2DGeom, rng *tensor.RNG) *Conv2D {
+	if g.OutHeight() < 1 || g.OutWidth() < 1 {
+		panic(fmt.Sprintf("nn: conv %q produces empty output for geom %+v", name, g))
+	}
+	w := tensor.New(g.OutChannels, g.InChannels, g.KernelSize, g.KernelSize)
+	w.FillHe(rng, g.InChannels*g.KernelSize*g.KernelSize)
+	b := tensor.New(g.OutChannels)
+	return &Conv2D{
+		name: name,
+		Geom: g,
+		W:    NewParam(name+".W", w),
+		B:    NewParam(name+".b", b),
+	}
+}
+
+// Name implements Layer.
+func (l *Conv2D) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *Conv2D) Params() []*Param { return []*Param{l.W, l.B} }
+
+// Forward implements Layer. x is [B, N, H, W]; the result is [B, M, R, C].
+func (l *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	g := l.Geom
+	if x.Rank() != 4 || x.Dim(1) != g.InChannels || x.Dim(2) != g.InHeight || x.Dim(3) != g.InWidth {
+		panic(fmt.Sprintf("nn: conv %q input shape %v does not match geom %+v", l.name, x.Shape(), g))
+	}
+	batch := x.Dim(0)
+	outH, outW := g.OutHeight(), g.OutWidth()
+	out := tensor.New(batch, g.OutChannels, outH, outW)
+	fm := l.W.Value.Reshape(g.OutChannels, g.ColRows())
+
+	l.inShape = x.Shape()
+	l.lastBat = batch
+	if train {
+		if cap(l.cols) < batch {
+			l.cols = make([]*tensor.Tensor, batch)
+		}
+		l.cols = l.cols[:batch]
+		for b := range l.cols {
+			if l.cols[b] == nil || l.cols[b].Dim(0) != g.ColRows() || l.cols[b].Dim(1) != g.ColCols() {
+				l.cols[b] = tensor.New(g.ColRows(), g.ColCols())
+			}
+		}
+	} else {
+		l.cols = l.cols[:0]
+	}
+
+	perImage := g.InChannels * g.InHeight * g.InWidth
+	perOut := g.OutChannels * outH * outW
+	tensor.ParallelChunks(batch, func(_, b0, b1 int) {
+		var scratch *tensor.Tensor
+		if !train {
+			scratch = tensor.New(g.ColRows(), g.ColCols())
+		}
+		for b := b0; b < b1; b++ {
+			in := tensor.FromSlice(x.Data[b*perImage:(b+1)*perImage], g.InChannels, g.InHeight, g.InWidth)
+			cols := scratch
+			if train {
+				cols = l.cols[b]
+			}
+			tensor.Im2Col(in, g, cols)
+			dst := tensor.FromSlice(out.Data[b*perOut:(b+1)*perOut], g.OutChannels, outH*outW)
+			tensor.MatMulInto(dst, fm, cols)
+			for m := 0; m < g.OutChannels; m++ {
+				bias := l.B.Value.Data[m]
+				if bias == 0 {
+					continue
+				}
+				row := dst.Data[m*outH*outW : (m+1)*outH*outW]
+				for i := range row {
+					row[i] += bias
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Backward implements Layer. dy is [B, M, R, C]; returns [B, N, H, W].
+func (l *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	g := l.Geom
+	batch := l.lastBat
+	if len(l.cols) != batch {
+		panic("nn: conv backward before forward(train=true)")
+	}
+	outH, outW := g.OutHeight(), g.OutWidth()
+	perOut := g.OutChannels * outH * outW
+	perImage := g.InChannels * g.InHeight * g.InWidth
+	dx := tensor.New(l.inShape...)
+	fm := l.W.Value.Reshape(g.OutChannels, g.ColRows())
+
+	// Per-chunk gradient accumulators avoid contention on the shared
+	// parameter gradients; they are reduced after the parallel section.
+	type chunkGrad struct {
+		dW *tensor.Tensor
+		dB *tensor.Tensor
+	}
+	grads := make([]chunkGrad, batch) // at most one per chunk; indexed by chunk
+	used := tensor.ParallelChunks(batch, func(chunk, b0, b1 int) {
+		var gw, gb *tensor.Tensor
+		if !l.W.Frozen {
+			gw = tensor.New(g.OutChannels, g.ColRows())
+			gb = tensor.New(g.OutChannels)
+			grads[chunk] = chunkGrad{dW: gw, dB: gb}
+		}
+		for b := b0; b < b1; b++ {
+			dyb := tensor.FromSlice(dy.Data[b*perOut:(b+1)*perOut], g.OutChannels, outH*outW)
+			if !l.W.Frozen {
+				// dW += dy · colsᵀ   ([M,RC] × [RC,NK²])
+				gw.Add(tensor.MatMulTransB(dyb, l.cols[b]))
+				for m := 0; m < g.OutChannels; m++ {
+					var s float64
+					row := dyb.Data[m*outH*outW : (m+1)*outH*outW]
+					for _, v := range row {
+						s += float64(v)
+					}
+					gb.Data[m] += float32(s)
+				}
+			}
+			// dcols = Wᵀ · dy   ([NK²,M] × [M,RC])
+			dcols := tensor.MatMulTransA(fm, dyb)
+			dxb := tensor.FromSlice(dx.Data[b*perImage:(b+1)*perImage], g.InChannels, g.InHeight, g.InWidth)
+			tensor.Col2Im(dcols, g, dxb)
+		}
+	})
+	if !l.W.Frozen {
+		dW := l.W.Grad.Reshape(g.OutChannels, g.ColRows())
+		for c := 0; c < used; c++ {
+			if grads[c].dW == nil {
+				continue
+			}
+			dW.Add(grads[c].dW)
+			l.B.Grad.Add(grads[c].dB)
+		}
+	}
+	return dx
+}

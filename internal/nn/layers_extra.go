@@ -1,0 +1,326 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"insitu/internal/tensor"
+)
+
+// AvgPool2D is an average-pooling layer over batched [B, C, H, W]
+// tensors (GoogLeNet-style heads use it before the classifier).
+type AvgPool2D struct {
+	name   string
+	Window int
+	Stride int
+
+	inShape []int
+}
+
+// NewAvgPool2D constructs an average-pooling layer.
+func NewAvgPool2D(name string, window, stride int) *AvgPool2D {
+	if window < 1 || stride < 1 {
+		panic("nn: invalid pooling window/stride")
+	}
+	return &AvgPool2D{name: name, Window: window, Stride: stride}
+}
+
+// Name implements Layer.
+func (l *AvgPool2D) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *AvgPool2D) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: avgpool %q wants rank-4 input, got %v", l.name, x.Shape()))
+	}
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := (h-l.Window)/l.Stride + 1
+	ow := (w-l.Window)/l.Stride + 1
+	if oh < 1 || ow < 1 {
+		panic(fmt.Sprintf("nn: avgpool %q output empty for input %v", l.name, x.Shape()))
+	}
+	l.inShape = x.Shape()
+	out := tensor.New(b, c, oh, ow)
+	inv := 1 / float32(l.Window*l.Window)
+	oi := 0
+	for bi := 0; bi < b; bi++ {
+		for ci := 0; ci < c; ci++ {
+			plane := (bi*c + ci) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var s float32
+					for ky := 0; ky < l.Window; ky++ {
+						rowBase := plane + (oy*l.Stride+ky)*w + ox*l.Stride
+						for kx := 0; kx < l.Window; kx++ {
+							s += x.Data[rowBase+kx]
+						}
+					}
+					out.Data[oi] = s * inv
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer: each output gradient is spread uniformly
+// over its window.
+func (l *AvgPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	b, c, h, w := l.inShape[0], l.inShape[1], l.inShape[2], l.inShape[3]
+	oh, ow := dy.Dim(2), dy.Dim(3)
+	dx := tensor.New(l.inShape...)
+	inv := 1 / float32(l.Window*l.Window)
+	oi := 0
+	for bi := 0; bi < b; bi++ {
+		for ci := 0; ci < c; ci++ {
+			plane := (bi*c + ci) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := dy.Data[oi] * inv
+					oi++
+					for ky := 0; ky < l.Window; ky++ {
+						rowBase := plane + (oy*l.Stride+ky)*w + ox*l.Stride
+						for kx := 0; kx < l.Window; kx++ {
+							dx.Data[rowBase+kx] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// BatchNorm2D normalizes each channel of [B, C, H, W] activations over
+// the batch and spatial dimensions, with learnable scale and shift and
+// running statistics for inference.
+type BatchNorm2D struct {
+	name     string
+	Channels int
+	Eps      float32
+	Momentum float32 // running-stat update rate
+
+	Gamma *Param // [C]
+	Beta  *Param // [C]
+
+	// Running statistics are persistent state (saved with the model,
+	// never touched by optimizers): Params with a nil gradient.
+	RunMean *Param // [C]
+	RunVar  *Param // [C]
+
+	// RunningMean and RunningVar alias the stat params' storage.
+	RunningMean []float32
+	RunningVar  []float32
+
+	// caches
+	lastX    *tensor.Tensor
+	xhat     []float32
+	batchStd []float32
+}
+
+// NewBatchNorm2D constructs a batch-norm layer for c channels.
+func NewBatchNorm2D(name string, c int) *BatchNorm2D {
+	gamma := tensor.New(c)
+	gamma.Fill(1)
+	mean := tensor.New(c)
+	variance := tensor.New(c)
+	variance.Fill(1)
+	bn := &BatchNorm2D{
+		name:     name,
+		Channels: c,
+		Eps:      1e-5,
+		Momentum: 0.1,
+		Gamma:    NewParam(name+".gamma", gamma),
+		Beta:     NewParam(name+".beta", tensor.New(c)),
+		RunMean:  &Param{Name: name + ".running_mean", Value: mean, Frozen: true},
+		RunVar:   &Param{Name: name + ".running_var", Value: variance, Frozen: true},
+	}
+	bn.RunningMean = mean.Data
+	bn.RunningVar = variance.Data
+	return bn
+}
+
+// Name implements Layer.
+func (l *BatchNorm2D) Name() string { return l.name }
+
+// Params implements Layer. The running statistics ride along as
+// nil-gradient params so serialization ships them with the model.
+func (l *BatchNorm2D) Params() []*Param {
+	return []*Param{l.Gamma, l.Beta, l.RunMean, l.RunVar}
+}
+
+// Forward implements Layer.
+func (l *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != l.Channels {
+		panic(fmt.Sprintf("nn: batchnorm %q input %v, want C=%d", l.name, x.Shape(), l.Channels))
+	}
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	out := tensor.New(b, c, h, w)
+	plane := h * w
+	n := b * plane
+	if train {
+		l.lastX = x
+		if cap(l.xhat) < x.Size() {
+			l.xhat = make([]float32, x.Size())
+		}
+		l.xhat = l.xhat[:x.Size()]
+		if l.batchStd == nil {
+			l.batchStd = make([]float32, c)
+		}
+	}
+	for ci := 0; ci < c; ci++ {
+		var mean, variance float32
+		if train {
+			var sum float64
+			for bi := 0; bi < b; bi++ {
+				base := (bi*c + ci) * plane
+				for i := 0; i < plane; i++ {
+					sum += float64(x.Data[base+i])
+				}
+			}
+			mean = float32(sum / float64(n))
+			var vs float64
+			for bi := 0; bi < b; bi++ {
+				base := (bi*c + ci) * plane
+				for i := 0; i < plane; i++ {
+					d := x.Data[base+i] - mean
+					vs += float64(d) * float64(d)
+				}
+			}
+			variance = float32(vs / float64(n))
+			l.RunningMean[ci] = (1-l.Momentum)*l.RunningMean[ci] + l.Momentum*mean
+			l.RunningVar[ci] = (1-l.Momentum)*l.RunningVar[ci] + l.Momentum*variance
+		} else {
+			mean, variance = l.RunningMean[ci], l.RunningVar[ci]
+		}
+		std := float32(math.Sqrt(float64(variance + l.Eps)))
+		if train {
+			l.batchStd[ci] = std
+		}
+		g, be := l.Gamma.Value.Data[ci], l.Beta.Value.Data[ci]
+		for bi := 0; bi < b; bi++ {
+			base := (bi*c + ci) * plane
+			for i := 0; i < plane; i++ {
+				xh := (x.Data[base+i] - mean) / std
+				if train {
+					l.xhat[base+i] = xh
+				}
+				out.Data[base+i] = g*xh + be
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer (standard batch-norm gradient).
+func (l *BatchNorm2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if l.lastX == nil {
+		panic("nn: batchnorm backward before forward(train=true)")
+	}
+	b, c := dy.Dim(0), dy.Dim(1)
+	plane := dy.Dim(2) * dy.Dim(3)
+	n := float32(b * plane)
+	dx := tensor.New(l.lastX.Shape()...)
+	for ci := 0; ci < c; ci++ {
+		var sumDy, sumDyXhat float64
+		for bi := 0; bi < b; bi++ {
+			base := (bi*c + ci) * plane
+			for i := 0; i < plane; i++ {
+				sumDy += float64(dy.Data[base+i])
+				sumDyXhat += float64(dy.Data[base+i]) * float64(l.xhat[base+i])
+			}
+		}
+		if !l.Gamma.Frozen {
+			l.Gamma.Grad.Data[ci] += float32(sumDyXhat)
+			l.Beta.Grad.Data[ci] += float32(sumDy)
+		}
+		g := l.Gamma.Value.Data[ci]
+		std := l.batchStd[ci]
+		for bi := 0; bi < b; bi++ {
+			base := (bi*c + ci) * plane
+			for i := 0; i < plane; i++ {
+				dxh := dy.Data[base+i] * g
+				dx.Data[base+i] = (dxh - float32(sumDy)*g/n - l.xhat[base+i]*float32(sumDyXhat)*g/n) / std
+			}
+		}
+	}
+	return dx
+}
+
+// LRN is AlexNet's local response normalization across channels:
+// y = x / (k + α/n · Σ x²)^β over a window of n adjacent channels.
+// The backward pass uses the common straight-through approximation
+// (gradient of the normalization denominator ignored), which is accurate
+// for the small α AlexNet uses and keeps the layer cheap — LRN
+// disappeared from later architectures precisely because its exact
+// gradient does not matter.
+type LRN struct {
+	name  string
+	N     int // window size
+	Alpha float32
+	Beta  float32
+	K     float32
+
+	scale []float32 // cached denominators^beta
+}
+
+// NewLRN constructs an LRN layer with AlexNet's constants.
+func NewLRN(name string) *LRN {
+	return &LRN{name: name, N: 5, Alpha: 1e-4, Beta: 0.75, K: 2}
+}
+
+// Name implements Layer.
+func (l *LRN) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *LRN) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *LRN) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: lrn %q wants rank-4 input", l.name))
+	}
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	out := tensor.New(b, c, h, w)
+	if cap(l.scale) < x.Size() {
+		l.scale = make([]float32, x.Size())
+	}
+	l.scale = l.scale[:x.Size()]
+	plane := h * w
+	half := l.N / 2
+	for bi := 0; bi < b; bi++ {
+		for i := 0; i < plane; i++ {
+			for ci := 0; ci < c; ci++ {
+				var ss float32
+				for cj := ci - half; cj <= ci+half; cj++ {
+					if cj < 0 || cj >= c {
+						continue
+					}
+					v := x.Data[(bi*c+cj)*plane+i]
+					ss += v * v
+				}
+				idx := (bi*c+ci)*plane + i
+				denom := float32(math.Pow(float64(l.K+l.Alpha/float32(l.N)*ss), float64(l.Beta)))
+				l.scale[idx] = denom
+				out.Data[idx] = x.Data[idx] / denom
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer with the straight-through approximation.
+func (l *LRN) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if len(l.scale) != dy.Size() {
+		panic("nn: lrn backward before forward")
+	}
+	dx := dy.Clone()
+	for i := range dx.Data {
+		dx.Data[i] /= l.scale[i]
+	}
+	return dx
+}

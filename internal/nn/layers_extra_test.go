@@ -1,0 +1,341 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"insitu/internal/tensor"
+)
+
+func TestAvgPoolForwardKnown(t *testing.T) {
+	l := NewAvgPool2D("ap", 2, 2)
+	x := tensor.FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	y := l.Forward(x, true)
+	want := []float32{3.5, 5.5, 11.5, 13.5}
+	for i, w := range want {
+		if y.Data[i] != w {
+			t.Fatalf("avgpool[%d] = %v, want %v", i, y.Data[i], w)
+		}
+	}
+}
+
+func TestAvgPoolBackwardConservesGradient(t *testing.T) {
+	l := NewAvgPool2D("ap", 2, 2)
+	r := tensor.NewRNG(1)
+	x := tensor.New(2, 3, 6, 6)
+	x.FillNormal(r, 0, 1)
+	y := l.Forward(x, true)
+	dy := tensor.New(y.Shape()...)
+	dy.Fill(1)
+	dx := l.Backward(dy)
+	// Non-overlapping windows: total gradient mass is conserved.
+	if math.Abs(dx.Sum()-dy.Sum()) > 1e-4 {
+		t.Fatalf("gradient mass not conserved: %v vs %v", dx.Sum(), dy.Sum())
+	}
+}
+
+func TestAvgPoolGradCheck(t *testing.T) {
+	r := tensor.NewRNG(2)
+	net := NewNetwork("ap",
+		NewConv2D("conv1", tensor.Conv2DGeom{InChannels: 1, InHeight: 8, InWidth: 8, KernelSize: 3, Stride: 1, Padding: 1, OutChannels: 2}, r),
+		NewAvgPool2D("pool", 2, 2),
+		NewFlatten("flat"),
+		NewDense("fc", 2*4*4, 3, r),
+	)
+	x := tensor.New(2, 1, 8, 8)
+	x.FillNormal(r, 0, 1)
+	checkGrads(t, net, x, []int{0, 2}, 3e-2)
+}
+
+func TestBatchNormNormalizesInTraining(t *testing.T) {
+	l := NewBatchNorm2D("bn", 3)
+	r := tensor.NewRNG(3)
+	x := tensor.New(8, 3, 5, 5)
+	x.FillNormal(r, 2, 3) // deliberately off-center
+	y := l.Forward(x, true)
+	// Per-channel mean ~0, var ~1 after normalization (gamma=1, beta=0).
+	plane := 25
+	for c := 0; c < 3; c++ {
+		var sum, ss float64
+		n := 0
+		for b := 0; b < 8; b++ {
+			base := (b*3 + c) * plane
+			for i := 0; i < plane; i++ {
+				v := float64(y.Data[base+i])
+				sum += v
+				ss += v * v
+				n++
+			}
+		}
+		mean := sum / float64(n)
+		variance := ss/float64(n) - mean*mean
+		if math.Abs(mean) > 1e-3 {
+			t.Fatalf("channel %d mean %v", c, mean)
+		}
+		if math.Abs(variance-1) > 1e-2 {
+			t.Fatalf("channel %d var %v", c, variance)
+		}
+	}
+}
+
+func TestBatchNormRunningStatsUsedAtEval(t *testing.T) {
+	l := NewBatchNorm2D("bn", 1)
+	r := tensor.NewRNG(4)
+	// Train on data with mean 5 so running stats move toward it.
+	for i := 0; i < 50; i++ {
+		x := tensor.New(4, 1, 3, 3)
+		x.FillNormal(r, 5, 1)
+		l.Forward(x, true)
+	}
+	if l.RunningMean[0] < 3 {
+		t.Fatalf("running mean %v did not track data mean 5", l.RunningMean[0])
+	}
+	// Eval on the same distribution: output should be near standard.
+	x := tensor.New(4, 1, 3, 3)
+	x.FillNormal(r, 5, 1)
+	y := l.Forward(x, false)
+	mean := y.Sum() / float64(y.Size())
+	if math.Abs(mean) > 0.5 {
+		t.Fatalf("eval output mean %v, want ~0", mean)
+	}
+}
+
+func TestBatchNormGradCheck(t *testing.T) {
+	r := tensor.NewRNG(5)
+	net := NewNetwork("bn",
+		NewConv2D("conv1", tensor.Conv2DGeom{InChannels: 1, InHeight: 6, InWidth: 6, KernelSize: 3, Stride: 1, Padding: 1, OutChannels: 2}, r),
+		NewBatchNorm2D("bn1", 2),
+		NewReLU("relu"),
+		NewFlatten("flat"),
+		NewDense("fc", 2*6*6, 3, r),
+	)
+	x := tensor.New(3, 1, 6, 6)
+	x.FillNormal(r, 0, 1)
+	// Batch norm's loss depends on batch statistics; the numeric check
+	// must run the same train-mode forward.
+	lossFn := func() float64 {
+		logits := net.Forward(x, true)
+		l, _ := CrossEntropy{}.LossAndGrad(logits, []int{0, 1, 2})
+		return l
+	}
+	net.ZeroGrad()
+	net.TrainStep(x, []int{0, 1, 2})
+	for _, p := range net.Params() {
+		if p.Grad == nil {
+			continue // persistent state (BN running stats)
+		}
+		n := p.Value.Size()
+		stride := n/5 + 1
+		for i := 0; i < n; i += stride {
+			want := numericGrad(p.Value, i, lossFn)
+			got := float64(p.Grad.Data[i])
+			if math.Abs(got-want) > 4e-2*(1+math.Abs(want)) {
+				t.Errorf("%s[%d]: analytic %v vs numeric %v", p.Name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestLRNForwardScalesDown(t *testing.T) {
+	l := NewLRN("lrn")
+	x := tensor.New(1, 8, 4, 4)
+	x.Fill(2)
+	y := l.Forward(x, true)
+	for i, v := range y.Data {
+		if v >= x.Data[i] || v <= 0 {
+			t.Fatalf("lrn[%d] = %v, want in (0, %v)", i, v, x.Data[i])
+		}
+	}
+	// Identical inputs across interior channels normalize identically.
+	if y.At(0, 3, 0, 0) != y.At(0, 4, 0, 0) {
+		t.Fatal("interior channels treated differently")
+	}
+}
+
+func TestLRNBackwardShape(t *testing.T) {
+	l := NewLRN("lrn")
+	r := tensor.NewRNG(6)
+	x := tensor.New(2, 6, 3, 3)
+	x.FillNormal(r, 0, 1)
+	y := l.Forward(x, true)
+	dx := l.Backward(y.Clone())
+	if !dx.SameShape(x) {
+		t.Fatalf("lrn backward shape %v", dx.Shape())
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize ||w - target||² via gradients; Adam should converge fast.
+	target := []float32{3, -2, 0.5}
+	p := NewParam("w", tensor.New(3))
+	opt := NewAdam(0.1)
+	for i := 0; i < 300; i++ {
+		for j := range target {
+			p.Grad.Data[j] = 2 * (p.Value.Data[j] - target[j])
+		}
+		opt.Step([]*Param{p})
+	}
+	for j := range target {
+		if math.Abs(float64(p.Value.Data[j]-target[j])) > 0.05 {
+			t.Fatalf("adam w[%d] = %v, want %v", j, p.Value.Data[j], target[j])
+		}
+	}
+}
+
+func TestAdamSkipsFrozen(t *testing.T) {
+	p := NewParam("w", tensor.FromSlice([]float32{1}, 1))
+	p.Frozen = true
+	p.Grad.Data[0] = 10
+	NewAdam(0.1).Step([]*Param{p})
+	if p.Value.Data[0] != 1 {
+		t.Fatal("frozen param moved")
+	}
+}
+
+func TestAdamLearnsXOR(t *testing.T) {
+	r := tensor.NewRNG(7)
+	net := NewNetwork("xor",
+		NewDense("fc1", 2, 16, r),
+		NewReLU("relu1"),
+		NewDense("fc2", 16, 2, r),
+	)
+	x := tensor.FromSlice([]float32{0, 0, 0, 1, 1, 0, 1, 1}, 4, 2)
+	labels := []int{0, 1, 1, 0}
+	opt := NewAdam(0.01)
+	var acc float64
+	for i := 0; i < 400; i++ {
+		_, acc = net.TrainStep(x, labels)
+		opt.Step(net.Params())
+		if acc == 1 && i > 50 {
+			break
+		}
+	}
+	if acc != 1 {
+		t.Fatalf("adam failed XOR: %v", acc)
+	}
+}
+
+func TestStepDecaySchedule(t *testing.T) {
+	s := StepDecay{Base: 1, Every: 10, Factor: 0.5}
+	if s.LR(0) != 1 || s.LR(9) != 1 {
+		t.Fatal("decay before first boundary")
+	}
+	if s.LR(10) != 0.5 || s.LR(19) != 0.5 {
+		t.Fatalf("LR(10) = %v", s.LR(10))
+	}
+	if s.LR(20) != 0.25 {
+		t.Fatalf("LR(20) = %v", s.LR(20))
+	}
+	flat := StepDecay{Base: 2}
+	if flat.LR(100) != 2 {
+		t.Fatal("Every=0 should be constant")
+	}
+}
+
+func TestCosineDecaySchedule(t *testing.T) {
+	c := CosineDecay{Base: 1, Floor: 0.1, Horizon: 100}
+	if got := c.LR(0); math.Abs(float64(got-1)) > 1e-6 {
+		t.Fatalf("LR(0) = %v", got)
+	}
+	if got := c.LR(100); got != 0.1 {
+		t.Fatalf("LR(horizon) = %v", got)
+	}
+	if got := c.LR(1000); got != 0.1 {
+		t.Fatalf("LR past horizon = %v", got)
+	}
+	mid := c.LR(50)
+	if mid <= 0.1 || mid >= 1 {
+		t.Fatalf("LR(50) = %v", mid)
+	}
+	// Monotone decreasing.
+	prev := c.LR(0)
+	for s := 1; s <= 100; s++ {
+		cur := c.LR(s)
+		if cur > prev+1e-6 {
+			t.Fatalf("not monotone at %d: %v > %v", s, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestGradClip(t *testing.T) {
+	p := NewParam("w", tensor.New(2))
+	p.Grad.Data[0] = 3
+	p.Grad.Data[1] = 4 // norm 5
+	norm := GradClip([]*Param{p}, 1)
+	if math.Abs(norm-5) > 1e-6 {
+		t.Fatalf("pre-clip norm = %v", norm)
+	}
+	var ss float64
+	for _, g := range p.Grad.Data {
+		ss += float64(g) * float64(g)
+	}
+	if math.Abs(math.Sqrt(ss)-1) > 1e-5 {
+		t.Fatalf("post-clip norm = %v", math.Sqrt(ss))
+	}
+	// Under the limit: untouched.
+	p.Grad.Data[0], p.Grad.Data[1] = 0.3, 0.4
+	GradClip([]*Param{p}, 1)
+	if p.Grad.Data[0] != 0.3 {
+		t.Fatal("clip modified a small gradient")
+	}
+}
+
+func TestBatchNormStatsSerialized(t *testing.T) {
+	r := tensor.NewRNG(8)
+	build := func() *Network {
+		rr := tensor.NewRNG(9)
+		return NewNetwork("bns",
+			NewConv2D("conv1", tensor.Conv2DGeom{InChannels: 1, InHeight: 4, InWidth: 4, KernelSize: 3, Stride: 1, Padding: 1, OutChannels: 2}, rr),
+			NewBatchNorm2D("bn1", 2),
+			NewFlatten("flat"),
+			NewDense("fc", 2*4*4, 2, rr),
+		)
+	}
+	a := build()
+	// Drift a's running stats away from the defaults.
+	for i := 0; i < 30; i++ {
+		x := tensor.New(4, 1, 4, 4)
+		x.FillNormal(r, 3, 2)
+		a.Forward(x, true)
+	}
+	var buf bytes.Buffer
+	if err := a.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := build()
+	if err := b.LoadWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	abn := a.Layers[1].(*BatchNorm2D)
+	bbn := b.Layers[1].(*BatchNorm2D)
+	for i := range abn.RunningMean {
+		if abn.RunningMean[i] != bbn.RunningMean[i] || abn.RunningVar[i] != bbn.RunningVar[i] {
+			t.Fatal("running statistics not shipped with the model")
+		}
+	}
+	if abn.RunningMean[0] == 0 {
+		t.Fatal("stats never drifted; test is vacuous")
+	}
+}
+
+func TestRunningStatsSurviveOptimizerSteps(t *testing.T) {
+	bn := NewBatchNorm2D("bn", 2)
+	bn.RunningMean[0] = 7
+	// An optimizer step over the layer's params (e.g. after unfreezing
+	// everything) must not corrupt the nil-grad stats.
+	for _, p := range bn.Params() {
+		p.Frozen = false
+	}
+	NewSGD(0.1, 0.9, 1e-2).Step(bn.Params())
+	NewAdam(0.1).Step(bn.Params())
+	if bn.RunningMean[0] != 7 {
+		t.Fatalf("optimizer corrupted running stats: %v", bn.RunningMean[0])
+	}
+}

@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"math"
+
+	"insitu/internal/tensor"
+)
+
+// Optimizer is the common interface of parameter-update rules.
+type Optimizer interface {
+	// Step applies one update to every non-frozen parameter and clears
+	// the gradients.
+	Step(params []*Param)
+}
+
+var (
+	_ Optimizer = (*SGD)(nil)
+	_ Optimizer = (*Adam)(nil)
+)
+
+// Adam is the Adam optimizer — provided for the Cloud-side experiments
+// that want faster convergence than SGD on small incremental sets.
+type Adam struct {
+	LR      float32
+	Beta1   float32
+	Beta2   float32
+	Eps     float32
+	m, v    map[*Param]*tensor.Tensor
+	stepNum int
+}
+
+// NewAdam constructs an Adam optimizer with standard betas.
+func NewAdam(lr float32) *Adam {
+	return &Adam{
+		LR:    lr,
+		Beta1: 0.9,
+		Beta2: 0.999,
+		Eps:   1e-8,
+		m:     make(map[*Param]*tensor.Tensor),
+		v:     make(map[*Param]*tensor.Tensor),
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	a.stepNum++
+	c1 := 1 - float32(math.Pow(float64(a.Beta1), float64(a.stepNum)))
+	c2 := 1 - float32(math.Pow(float64(a.Beta2), float64(a.stepNum)))
+	for _, p := range params {
+		if p.Frozen || p.Grad == nil {
+			p.ZeroGrad()
+			continue
+		}
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.New(p.Value.Shape()...)
+			a.m[p] = m
+			a.v[p] = tensor.New(p.Value.Shape()...)
+		}
+		v := a.v[p]
+		for i, g := range p.Grad.Data {
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
+			mh := m.Data[i] / c1
+			vh := v.Data[i] / c2
+			p.Value.Data[i] -= a.LR * mh / (float32(math.Sqrt(float64(vh))) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// LRSchedule adjusts a learning rate over training steps.
+type LRSchedule interface {
+	// LR returns the learning rate for (0-indexed) step.
+	LR(step int) float32
+}
+
+// StepDecay halves (or scales by Factor) the base rate every Every steps.
+type StepDecay struct {
+	Base   float32
+	Every  int
+	Factor float32
+}
+
+// LR implements LRSchedule.
+func (s StepDecay) LR(step int) float32 {
+	if s.Every <= 0 {
+		return s.Base
+	}
+	lr := s.Base
+	for i := s.Every; i <= step; i += s.Every {
+		lr *= s.Factor
+	}
+	return lr
+}
+
+// CosineDecay anneals from Base to Floor over Horizon steps.
+type CosineDecay struct {
+	Base    float32
+	Floor   float32
+	Horizon int
+}
+
+// LR implements LRSchedule.
+func (c CosineDecay) LR(step int) float32 {
+	if step >= c.Horizon {
+		return c.Floor
+	}
+	t := float64(step) / float64(c.Horizon)
+	return c.Floor + (c.Base-c.Floor)*float32(0.5*(1+math.Cos(math.Pi*t)))
+}
+
+// GradClip rescales all gradients so their global L2 norm is at most
+// maxNorm; it returns the pre-clip norm. Useful when fine-tuning on tiny
+// hard-example sets.
+func GradClip(params []*Param, maxNorm float64) float64 {
+	var ss float64
+	for _, p := range params {
+		if p.Grad == nil {
+			continue
+		}
+		for _, g := range p.Grad.Data {
+			ss += float64(g) * float64(g)
+		}
+	}
+	norm := math.Sqrt(ss)
+	if norm > maxNorm && norm > 0 {
+		scale := float32(maxNorm / norm)
+		for _, p := range params {
+			if p.Grad != nil {
+				p.Grad.Scale(scale)
+			}
+		}
+	}
+	return norm
+}

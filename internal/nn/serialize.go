@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The wire format used to ship model weights between the simulated Cloud
+// and IoT nodes: a magic header, then one record per parameter with its
+// name, shape and raw float32 data, all little-endian.
+const weightsMagic = "ISAI0001"
+
+// SaveWeights writes every parameter of the network to w. Architecture is
+// not serialized — loading requires a structurally identical network,
+// which matches the paper's deployment model (the node knows the
+// architecture, only weights move).
+func (n *Network) SaveWeights(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(weightsMagic); err != nil {
+		return err
+	}
+	params := n.Params()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := writeString(bw, p.Name); err != nil {
+			return err
+		}
+		shape := p.Value.Shape()
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(shape))); err != nil {
+			return err
+		}
+		for _, d := range shape {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
+		}
+		buf := make([]byte, 4*len(p.Value.Data))
+		for i, v := range p.Value.Data {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadWeights reads weights previously written by SaveWeights into the
+// network. Parameter names and shapes must match exactly.
+func (n *Network) LoadWeights(r io.Reader) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(weightsMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("nn: reading weights magic: %w", err)
+	}
+	if string(magic) != weightsMagic {
+		return fmt.Errorf("nn: bad weights magic %q", magic)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	params := n.Params()
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: weight file has %d params, network %q has %d", count, n.Name, len(params))
+	}
+	for _, p := range params {
+		name, err := readString(br)
+		if err != nil {
+			return err
+		}
+		if name != p.Name {
+			return fmt.Errorf("nn: weight order mismatch: file has %q, network wants %q", name, p.Name)
+		}
+		var rank uint32
+		if err := binary.Read(br, binary.LittleEndian, &rank); err != nil {
+			return err
+		}
+		shape := make([]int, rank)
+		size := 1
+		for i := range shape {
+			var d uint32
+			if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+				return err
+			}
+			shape[i] = int(d)
+			size *= int(d)
+		}
+		if size != p.Value.Size() {
+			return fmt.Errorf("nn: parameter %q size mismatch: file %v vs network %v", name, shape, p.Value.Shape())
+		}
+		buf := make([]byte, 4*size)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return err
+		}
+		for i := range p.Value.Data {
+			p.Value.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	}
+	return nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w.(io.Writer), s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("nn: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

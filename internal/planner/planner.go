@@ -1,0 +1,132 @@
+// Package planner implements the paper's configuration-selection layer:
+// the analytical time and resource models that pick the best batch sizes
+// for the Single-running mode on the GPU (§IV-B1, Fig. 21) and the best
+// pipeline batch for the Co-running mode on the FPGA (§IV-B2, eq. 14).
+// A brute-force oracle is included to measure how close the analytical
+// pick lands to the profiled best case, as Fig. 21 does.
+package planner
+
+import (
+	"insitu/internal/device"
+	"insitu/internal/fpgasim"
+	"insitu/internal/gpusim"
+	"insitu/internal/models"
+)
+
+// SingleRunningPlan is the configuration for Single-running mode: both
+// tasks on the GPU at different time slots.
+type SingleRunningPlan struct {
+	// InferenceBatch is the time-model pick: the largest batch whose
+	// latency meets the requirement (maximizing perf/W under eq. 14's
+	// analogue).
+	InferenceBatch int
+	// InferenceFeasible is false when even batch 1 misses the latency
+	// requirement.
+	InferenceFeasible bool
+	// InferenceLatency is the modeled latency at InferenceBatch.
+	InferenceLatency float64
+	// DiagnosisBatch is the resource-model pick (eq. 9): the largest
+	// batch that fits device memory.
+	DiagnosisBatch int
+}
+
+// PlanSingleRunning runs both models for an inference/diagnosis pair.
+func PlanSingleRunning(sim *gpusim.Sim, inference, diagnosis models.NetSpec, latencyReq float64, maxBatch int) SingleRunningPlan {
+	p := SingleRunningPlan{}
+	p.InferenceBatch, p.InferenceFeasible = OptimalInferenceBatch(sim, inference, latencyReq, maxBatch)
+	if p.InferenceFeasible {
+		p.InferenceLatency = sim.NetTime(inference, p.InferenceBatch).Latency()
+	}
+	p.DiagnosisBatch = sim.MaxBatchForMemory(diagnosis, maxBatch)
+	return p
+}
+
+// OptimalInferenceBatch is the time-model selection: the largest batch
+// size whose modeled batch latency stays within the requirement. Because
+// GPU energy-efficiency increases with batch size (Fig. 11), the largest
+// feasible batch is also the most energy-efficient one.
+func OptimalInferenceBatch(sim *gpusim.Sim, spec models.NetSpec, latencyReq float64, maxBatch int) (int, bool) {
+	best, feasible := 0, false
+	for b := 1; b <= maxBatch; b++ {
+		if sim.NetTime(spec, b).Latency() <= latencyReq {
+			best, feasible = b, true
+		}
+	}
+	return best, feasible
+}
+
+// BruteForceBest is the profiling oracle of Fig. 21: it scans every batch
+// size and returns the one with the highest perf/W among those meeting
+// the latency requirement. With a perfectly monotone model it coincides
+// with the time-model pick; it exists to measure the headroom.
+func BruteForceBest(sim *gpusim.Sim, spec models.NetSpec, latencyReq float64, maxBatch int) (int, bool) {
+	best, bestPPW, feasible := 0, 0.0, false
+	for b := 1; b <= maxBatch; b++ {
+		if sim.NetTime(spec, b).Latency() > latencyReq {
+			continue
+		}
+		if ppw := sim.PerfPerWatt(spec, b); ppw > bestPPW {
+			best, bestPPW, feasible = b, ppw, true
+		}
+	}
+	return best, feasible
+}
+
+// SpeedupOverNonBatch returns the Fig. 21 metric: the throughput (and so
+// perf/W) ratio of the time-model configuration over the naive
+// non-batching (batch = 1) deployment under a latency requirement.
+func SpeedupOverNonBatch(sim *gpusim.Sim, spec models.NetSpec, latencyReq float64, maxBatch int) float64 {
+	b, ok := OptimalInferenceBatch(sim, spec, latencyReq, maxBatch)
+	if !ok {
+		return 1
+	}
+	return sim.NetTime(spec, b).Throughput() / sim.NetTime(spec, 1).Throughput()
+}
+
+// CoRunningPlan is the Co-running (FPGA) configuration.
+type CoRunningPlan struct {
+	Arch   fpgasim.ConvArch
+	Result fpgasim.PlanResult
+}
+
+// PlanCoRunning picks the FCN pipeline batch for the WSS-NWS design under
+// a latency requirement (eq. 14).
+func PlanCoRunning(spec device.FPGASpec, w fpgasim.CoRunWorkload, sharedConvs int, latencyReq float64) (CoRunningPlan, error) {
+	p, err := fpgasim.NewPipeline(spec, fpgasim.ArchWSSNWS, w, sharedConvs)
+	if err != nil {
+		return CoRunningPlan{}, err
+	}
+	return CoRunningPlan{
+		Arch:   fpgasim.ArchWSSNWS,
+		Result: p.MaxThroughputUnderLatency(latencyReq, 256),
+	}, nil
+}
+
+// ModeRecommendation captures §IV-A2's platform decision.
+type ModeRecommendation struct {
+	// AlwaysOn is true when the inference task must be available 24/7.
+	AlwaysOn bool
+	// Platform is "GPU" for Single-running, "FPGA" for Co-running.
+	Platform string
+	// Reason summarizes the characterization result driving the pick.
+	Reason string
+}
+
+// RecommendMode encodes the paper's characterization conclusion: GPU for
+// Single-running mode (better energy efficiency when tasks time-share),
+// FPGA for Co-running mode (hardware isolation avoids the up-to-3×
+// interference of Fig. 16).
+func RecommendMode(alwaysOn bool) ModeRecommendation {
+	if alwaysOn {
+		return ModeRecommendation{
+			AlwaysOn: true,
+			Platform: "FPGA",
+			Reason:   "co-running tasks interfere up to 3x on GPU; FPGA separates hardware resources",
+		}
+	}
+	return ModeRecommendation{
+		AlwaysOn: false,
+		Platform: "GPU",
+		Reason:   "GPU energy-efficiency beats FPGA when one AI task runs at a time",
+	}
+}

@@ -1,0 +1,155 @@
+package planner
+
+import (
+	"testing"
+	"testing/quick"
+
+	"insitu/internal/device"
+	"insitu/internal/fpgasim"
+	"insitu/internal/gpusim"
+	"insitu/internal/models"
+)
+
+func sim() *gpusim.Sim { return gpusim.New(device.TX1()) }
+
+func TestOptimalInferenceBatchMeetsLatency(t *testing.T) {
+	s := sim()
+	spec := models.AlexNet()
+	b, ok := OptimalInferenceBatch(s, spec, 0.1, 128)
+	if !ok || b < 1 {
+		t.Fatalf("no feasible batch: %d %v", b, ok)
+	}
+	if lat := s.NetTime(spec, b).Latency(); lat > 0.1 {
+		t.Fatalf("picked batch %d violates latency: %v", b, lat)
+	}
+	// The next batch up must violate (otherwise not maximal).
+	if lat := s.NetTime(spec, b+1).Latency(); lat <= 0.1 {
+		t.Fatalf("batch %d not maximal (b+1 latency %v)", b, lat)
+	}
+}
+
+func TestOptimalInferenceBatchInfeasible(t *testing.T) {
+	s := sim()
+	// 1 µs is impossible for AlexNet on TX1.
+	if _, ok := OptimalInferenceBatch(s, models.AlexNet(), 1e-6, 64); ok {
+		t.Fatal("impossible latency reported feasible")
+	}
+}
+
+func TestTimeModelMatchesBruteForce(t *testing.T) {
+	// Fig. 21's "close to best case" claim: the analytical pick's perf/W
+	// is within a few percent of the brute-force oracle.
+	s := sim()
+	for _, spec := range []models.NetSpec{models.AlexNet(), models.VGGNet()} {
+		for _, treq := range []float64{0.05, 0.1, 0.3, 1.0} {
+			mb, ok1 := OptimalInferenceBatch(s, spec, treq, 128)
+			bb, ok2 := BruteForceBest(s, spec, treq, 128)
+			if ok1 != ok2 {
+				t.Fatalf("%s@%v: feasibility disagrees", spec.Name, treq)
+			}
+			if !ok1 {
+				continue
+			}
+			model := s.PerfPerWatt(spec, mb)
+			oracle := s.PerfPerWatt(spec, bb)
+			if model < oracle*0.9 {
+				t.Fatalf("%s@%v: model pick %d (%.2f) far from oracle %d (%.2f)",
+					spec.Name, treq, mb, model, bb, oracle)
+			}
+		}
+	}
+}
+
+func TestFig21SpeedupShape(t *testing.T) {
+	// Paper: ~3× average speedup for AlexNet, only ~1.1× for VGGNet
+	// (deeper nets already saturate the GPU at batch 1).
+	s := sim()
+	budgets := []float64{0.1, 0.2, 0.4, 0.8}
+	avg := func(spec models.NetSpec) float64 {
+		var sum float64
+		for _, treq := range budgets {
+			sum += SpeedupOverNonBatch(s, spec, treq, 128)
+		}
+		return sum / float64(len(budgets))
+	}
+	alex := avg(models.AlexNet())
+	vgg := avg(models.VGGNet())
+	if alex < 1.5 {
+		t.Fatalf("AlexNet speedup = %v, want substantial (~3x)", alex)
+	}
+	if vgg >= alex {
+		t.Fatalf("VGG speedup (%v) should be far below AlexNet (%v)", vgg, alex)
+	}
+	if vgg > 2.0 {
+		t.Fatalf("VGG speedup = %v, want modest (~1.1x)", vgg)
+	}
+}
+
+func TestPlanSingleRunning(t *testing.T) {
+	s := sim()
+	inf := models.AlexNet()
+	diag := models.DiagnosisSpec(inf, 100)
+	p := PlanSingleRunning(s, inf, diag, 0.1, 256)
+	if !p.InferenceFeasible {
+		t.Fatal("inference should be feasible at 100ms")
+	}
+	if p.InferenceLatency > 0.1 {
+		t.Fatalf("plan latency %v exceeds requirement", p.InferenceLatency)
+	}
+	if p.DiagnosisBatch < 1 {
+		t.Fatal("diagnosis batch empty")
+	}
+	// Diagnosis batch is bounded by memory, not latency: it should be
+	// large on a 4 GB device.
+	if p.DiagnosisBatch < p.InferenceBatch {
+		t.Fatalf("diagnosis batch %d < inference batch %d: memory bound should be looser",
+			p.DiagnosisBatch, p.InferenceBatch)
+	}
+}
+
+func TestPlanCoRunning(t *testing.T) {
+	w := fpgasim.NewCoRunWorkload(models.AlexNet())
+	plan, err := PlanCoRunning(device.VX690T(), w, 3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Result.Feasible {
+		t.Fatal("WSS-NWS should meet 100ms")
+	}
+	if plan.Result.Latency > 0.1 {
+		t.Fatalf("latency %v exceeds requirement", plan.Result.Latency)
+	}
+	if plan.Arch != fpgasim.ArchWSSNWS {
+		t.Fatalf("arch = %v", plan.Arch)
+	}
+}
+
+func TestRecommendMode(t *testing.T) {
+	if got := RecommendMode(true); got.Platform != "FPGA" {
+		t.Fatalf("24/7 recommendation = %v", got.Platform)
+	}
+	if got := RecommendMode(false); got.Platform != "GPU" {
+		t.Fatalf("time-shared recommendation = %v", got.Platform)
+	}
+}
+
+// Property: the time-model pick never violates the latency requirement
+// and is maximal.
+func TestQuickTimeModelSound(t *testing.T) {
+	s := sim()
+	spec := models.AlexNet()
+	f := func(treqMS uint16) bool {
+		treq := float64(treqMS%2000+5) / 1000
+		b, ok := OptimalInferenceBatch(s, spec, treq, 128)
+		if !ok {
+			return s.NetTime(spec, 1).Latency() > treq
+		}
+		if s.NetTime(spec, b).Latency() > treq {
+			return false
+		}
+		return b == 128 || s.NetTime(spec, b+1).Latency() > treq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

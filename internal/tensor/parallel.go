@@ -1,0 +1,41 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelChunks splits [0, n) into at most GOMAXPROCS contiguous chunks
+// and runs work on each concurrently. work receives the chunk index and
+// its [i0, i1) range; chunk indices are dense in [0, chunks). It returns
+// the number of chunks used, which is 1 when n is small or the machine is
+// single-core (in which case work runs inline).
+func ParallelChunks(n int, work func(chunk, i0, i1 int)) int {
+	procs := runtime.GOMAXPROCS(0)
+	if procs > n {
+		procs = n
+	}
+	if procs <= 1 {
+		if n > 0 {
+			work(0, 0, n)
+		}
+		return 1
+	}
+	var wg sync.WaitGroup
+	chunkSize := (n + procs - 1) / procs
+	chunks := 0
+	for i0 := 0; i0 < n; i0 += chunkSize {
+		i1 := i0 + chunkSize
+		if i1 > n {
+			i1 = n
+		}
+		wg.Add(1)
+		go func(chunk, i0, i1 int) {
+			defer wg.Done()
+			work(chunk, i0, i1)
+		}(chunks, i0, i1)
+		chunks++
+	}
+	wg.Wait()
+	return chunks
+}

@@ -1,0 +1,202 @@
+// Package tensor implements the dense float32 tensors and the handful of
+// linear-algebra kernels (parallel matrix multiplication, im2col/col2im)
+// that the neural-network substrate of the In-situ AI reproduction is built
+// on. It is deliberately small: everything the paper's networks need and
+// nothing more, with no external dependencies.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense, row-major float32 tensor of arbitrary rank.
+// The zero value is not usable; construct tensors with New, Zeros or
+// FromSlice.
+type Tensor struct {
+	shape   []int
+	strides []int
+	Data    []float32
+}
+
+// New allocates a zero-filled tensor with the given shape.
+// It panics if any dimension is non-positive.
+func New(shape ...int) *Tensor {
+	n := checkShape(shape)
+	return &Tensor{
+		shape:   append([]int(nil), shape...),
+		strides: computeStrides(shape),
+		Data:    make([]float32, n),
+	}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); it panics if len(data) does not match the shape.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (want %d)", len(data), shape, n))
+	}
+	return &Tensor{
+		shape:   append([]int(nil), shape...),
+		strides: computeStrides(shape),
+		Data:    data,
+	}
+}
+
+func checkShape(shape []int) int {
+	if len(shape) == 0 {
+		panic("tensor: empty shape")
+	}
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+func computeStrides(shape []int) []int {
+	strides := make([]int, len(shape))
+	s := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= shape[i]
+	}
+	return strides
+}
+
+// Shape returns a copy of the tensor's shape.
+func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.Data) }
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float32 { return t.Data[t.offset(idx)] }
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) { t.Data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of bounds for shape %v", idx, t.shape))
+		}
+		off += x * t.strides[i]
+	}
+	return off
+}
+
+// Clone returns a deep copy of the tensor.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view of the tensor with a new shape; the element count
+// must be unchanged. The returned tensor shares storage with t.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := checkShape(shape)
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (size %d) to %v (size %d)", t.shape, len(t.Data), shape, n))
+	}
+	return &Tensor{
+		shape:   append([]int(nil), shape...),
+		strides: computeStrides(shape),
+		Data:    t.Data,
+	}
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// Scale multiplies every element by a.
+func (t *Tensor) Scale(a float32) {
+	for i := range t.Data {
+		t.Data[i] *= a
+	}
+}
+
+// AddScaled adds a*o element-wise into t. Shapes must match.
+func (t *Tensor) AddScaled(o *Tensor, a float32) {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: AddScaled size mismatch")
+	}
+	for i, v := range o.Data {
+		t.Data[i] += a * v
+	}
+}
+
+// Add adds o element-wise into t. Shapes must match in size.
+func (t *Tensor) Add(o *Tensor) { t.AddScaled(o, 1) }
+
+// Sum returns the sum of all elements (accumulated in float64 for
+// stability).
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Max returns the maximum element and its flat index.
+func (t *Tensor) Max() (float32, int) {
+	best := float32(math.Inf(-1))
+	arg := -1
+	for i, v := range t.Data {
+		if v > best {
+			best = v
+			arg = i
+		}
+	}
+	return best, arg
+}
+
+// L2Norm returns the Euclidean norm of the flattened tensor.
+func (t *Tensor) L2Norm() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// String renders a short human-readable description.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v", t.shape)
+}

@@ -1,0 +1,80 @@
+package train
+
+import (
+	"testing"
+
+	"insitu/internal/dataset"
+	"insitu/internal/models"
+)
+
+func TestRunConvergesOnIdealData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	g := dataset.NewGenerator(5, 1)
+	net := models.TinyAlex(5, 2)
+	samples := g.IdealSet(256)
+	res := Run(net, samples, DefaultConfig(150), 25)
+	if res.FinalLoss > 0.3 {
+		t.Fatalf("final loss %v, want < 0.3", res.FinalLoss)
+	}
+	if len(res.LossCurve) != 6 {
+		t.Fatalf("loss curve length %d, want 6", len(res.LossCurve))
+	}
+	if res.LossCurve[len(res.LossCurve)-1] >= res.LossCurve[0] {
+		t.Fatalf("loss did not decrease: %v", res.LossCurve)
+	}
+	if acc := Evaluate(net, g.IdealSet(200)); acc < 0.8 {
+		t.Fatalf("eval accuracy %v, want > 0.8", acc)
+	}
+}
+
+func TestRunHandlesWrapAroundBatches(t *testing.T) {
+	g := dataset.NewGenerator(3, 2)
+	net := models.TinyAlex(3, 3)
+	// 40 samples with batch 32 forces wrap-around on step 2.
+	samples := g.IdealSet(40)
+	cfg := DefaultConfig(3)
+	res := Run(net, samples, cfg, 0)
+	if res.Steps != 3 {
+		t.Fatalf("Steps = %d", res.Steps)
+	}
+	if len(res.LossCurve) != 0 {
+		t.Fatal("unrecorded run should have empty curve")
+	}
+}
+
+func TestRunClampsBatchToSetSize(t *testing.T) {
+	g := dataset.NewGenerator(3, 3)
+	net := models.TinyAlex(3, 4)
+	samples := g.IdealSet(8)
+	cfg := DefaultConfig(2)
+	cfg.BatchSize = 512
+	Run(net, samples, cfg, 0) // must not panic
+}
+
+func TestMisclassifiedPartition(t *testing.T) {
+	g := dataset.NewGenerator(4, 4)
+	net := models.TinyAlex(4, 5) // untrained: most predictions wrong
+	samples := g.IdealSet(60)
+	wrong := Misclassified(net, samples)
+	acc := Evaluate(net, samples)
+	// Accuracy + error fraction must account for every sample.
+	if len(wrong) != 60-int(acc*60+0.5) {
+		t.Fatalf("misclassified %d, accuracy %v: inconsistent", len(wrong), acc)
+	}
+	// Every reported sample is genuinely misclassified.
+	for _, s := range wrong {
+		x, _ := dataset.Batch([]dataset.Sample{s})
+		if net.Predict(x)[0] == s.Label {
+			t.Fatal("Misclassified returned a correctly-classified sample")
+		}
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig(77)
+	if cfg.Steps != 77 || cfg.BatchSize != 32 || cfg.LR != 0.01 {
+		t.Fatalf("unexpected default config %+v", cfg)
+	}
+}

@@ -1,0 +1,118 @@
+// Package transfer implements the paper's transfer-learning machinery
+// (Fig. 4, Fig. 6): copying the first n CONV layers from the unsupervised
+// (jigsaw) network into the inference network, locking layer prefixes
+// (CONV-i), fine-tuning on limited labeled data, and the Net-Err
+// hard-example fine-tuning of Fig. 7. It also provides op accounting for
+// locked-vs-trainable work, which the Cloud cost model uses to price
+// incremental updates with and without weight sharing.
+package transfer
+
+import (
+	"fmt"
+
+	"insitu/internal/dataset"
+	"insitu/internal/models"
+	"insitu/internal/nn"
+	"insitu/internal/train"
+)
+
+// ConvPrefixes returns the conv layer-name prefixes for CONV-i locking on
+// TinyAlex-style naming: LockPrefixes(3) = [conv1, conv2, conv3].
+func ConvPrefixes(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("conv%d", i+1)
+	}
+	return out
+}
+
+// FromUnsupervised copies the first shared CONV layers (conv1..convN)
+// from the unsupervised network into the inference network and returns
+// the number of parameters copied.
+func FromUnsupervised(inference, unsupervised *nn.Network, sharedConvs int) (int, error) {
+	return inference.CopyWeightsFrom(unsupervised, ConvPrefixes(sharedConvs)...)
+}
+
+// FineTune trains net on samples with the given conv prefix locked
+// (lockedConvs = i reproduces the paper's CONV-i configuration; 0 locks
+// nothing). It restores the previous frozen state afterwards only for
+// layers it froze itself.
+func FineTune(net *nn.Network, samples []dataset.Sample, cfg train.Config, lockedConvs int) train.Result {
+	prefixes := ConvPrefixes(lockedConvs)
+	if lockedConvs > 0 {
+		net.FreezeLayers(prefixes...)
+	}
+	res := train.Run(net, samples, cfg, 0)
+	if lockedConvs > 0 {
+		net.UnfreezeLayers(prefixes...)
+	}
+	return res
+}
+
+// HardExamples mines the samples the network currently misclassifies —
+// the paper's "unrecognized class" used to build Net-Err in Fig. 7.
+func HardExamples(net *nn.Network, samples []dataset.Sample) []dataset.Sample {
+	return train.Misclassified(net, samples)
+}
+
+// TrainableOpsFraction returns which fraction of a network spec's
+// per-sample ops remain trainable when the first lockedConvs CONV layers
+// are locked. Locked layers skip the weight-gradient and weight-update
+// work; the paper reports a 1.7× speedup from sharing conv1..conv3 on
+// AlexNet (Fig. 6). The fraction prices Cloud-side update work in the
+// Fig. 25 model.
+func TrainableOpsFraction(spec models.NetSpec, lockedConvs int) float64 {
+	var total, trainable int64
+	convSeen := 0
+	for _, l := range spec.Layers {
+		ops := l.Ops()
+		total += ops
+		if l.Kind == models.Conv {
+			convSeen++
+			if convSeen <= lockedConvs {
+				continue
+			}
+		}
+		trainable += ops
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(trainable) / float64(total)
+}
+
+// TrainingOpsPerSample estimates the op cost of one training sample:
+// forward over all layers plus backward (≈2× forward) over everything,
+// minus the weight-gradient work of locked layers. The standard
+// forward:backward accounting is 1:2 — backward computes both input
+// gradients (needed even through locked layers) and weight gradients
+// (skipped when locked), each roughly one forward-equivalent.
+func TrainingOpsPerSample(spec models.NetSpec, lockedConvs int) int64 {
+	var total int64
+	convSeen := 0
+	for _, l := range spec.Layers {
+		ops := l.Ops()
+		locked := false
+		if l.Kind == models.Conv {
+			convSeen++
+			locked = convSeen <= lockedConvs
+		}
+		if locked {
+			// forward + input-gradient pass only
+			total += 2 * ops
+		} else {
+			// forward + input-gradient + weight-gradient
+			total += 3 * ops
+		}
+	}
+	return total
+}
+
+// UpdateSpeedup returns the model-update speedup of locking the first
+// lockedConvs CONV layers relative to full retraining (CONV-0) for the
+// given spec — the quantity behind the paper's 1.7× claim.
+func UpdateSpeedup(spec models.NetSpec, lockedConvs int) float64 {
+	full := TrainingOpsPerSample(spec, 0)
+	locked := TrainingOpsPerSample(spec, lockedConvs)
+	return float64(full) / float64(locked)
+}

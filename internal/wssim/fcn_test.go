@@ -1,0 +1,109 @@
+package wssim
+
+import (
+	"testing"
+
+	"insitu/internal/fpgasim"
+	"insitu/internal/models"
+	"insitu/internal/tensor"
+)
+
+func TestFCNEngineComputesCorrectly(t *testing.T) {
+	r := tensor.NewRNG(10)
+	for _, batchLoop := range []bool{false, true} {
+		x := tensor.New(5, 17)
+		x.FillNormal(r, 0, 1)
+		w := tensor.New(9, 17)
+		w.FillNormal(r, 0, 1)
+		e := FCNEngine{Tm: 4, Tn: 4, BatchLoop: batchLoop}
+		got, _ := e.Run(x, w)
+		tensorsClose(t, got, ReferenceFCN(x, w), 1e-3)
+	}
+}
+
+// The simulated compute cycles equal eq. (12)'s compute term:
+// ⌈N/Tn⌉·⌈M/Tm⌉·B — with or without the batch loop (batching changes
+// traffic, not compute).
+func TestFCNCyclesMatchEq12(t *testing.T) {
+	r := tensor.NewRNG(11)
+	x := tensor.New(7, 100)
+	x.FillNormal(r, 0, 1)
+	w := tensor.New(64, 100)
+	w.FillNormal(r, 0, 1)
+	analytic := fpgasim.NWSEngine{Tm: 32, Tn: 32}
+	spec := models.FCSpec("fc", 100, 64)
+	want := analytic.FCNCycles(spec, 7)
+	for _, batchLoop := range []bool{false, true} {
+		e := FCNEngine{Tm: 32, Tn: 32, BatchLoop: batchLoop}
+		_, stats := e.Run(x, w)
+		if stats.Cycles != want {
+			t.Fatalf("batchLoop=%v: %d cycles, eq.12 says %d", batchLoop, stats.Cycles, want)
+		}
+	}
+}
+
+// The simulated weight traffic reproduces fpgasim.FCNAccessBytes: with
+// the batch loop each weight loads once; without it, once per sample.
+func TestFCNTrafficMatchesAccessModel(t *testing.T) {
+	r := tensor.NewRNG(12)
+	const batch, n, m = 6, 50, 30
+	x := tensor.New(batch, n)
+	x.FillNormal(r, 0, 1)
+	w := tensor.New(m, n)
+	w.FillNormal(r, 0, 1)
+	spec := models.FCSpec("fc", n, m)
+
+	for _, batchLoop := range []bool{false, true} {
+		e := FCNEngine{Tm: 8, Tn: 8, BatchLoop: batchLoop}
+		_, stats := e.Run(x, w)
+		// fpgasim counts bytes of weights + per-sample activations; the
+		// simulator counts elements. Compare weights + activations × 4.
+		gotBytes := 4 * (stats.WeightElemsLoaded + stats.ActivationElems)
+		wantBytes := fpgasim.FCNAccessBytes(spec, batch, batchLoop)
+		if gotBytes != wantBytes {
+			t.Fatalf("batchLoop=%v: simulated %dB, model %dB", batchLoop, gotBytes, wantBytes)
+		}
+	}
+}
+
+func TestFCNBatchLoopSavesTraffic(t *testing.T) {
+	r := tensor.NewRNG(13)
+	x := tensor.New(16, 64)
+	x.FillNormal(r, 0, 1)
+	w := tensor.New(32, 64)
+	w.FillNormal(r, 0, 1)
+	_, raw := FCNEngine{Tm: 8, Tn: 8, BatchLoop: false}.Run(x, w)
+	_, opt := FCNEngine{Tm: 8, Tn: 8, BatchLoop: true}.Run(x, w)
+	if opt.WeightElemsLoaded*16 != raw.WeightElemsLoaded {
+		t.Fatalf("batch-16 loop should cut weight loads 16x: %d vs %d",
+			opt.WeightElemsLoaded, raw.WeightElemsLoaded)
+	}
+	// Identical results either way.
+	if raw.MACs != opt.MACs {
+		t.Fatalf("MACs differ: %d vs %d", raw.MACs, opt.MACs)
+	}
+}
+
+func TestFCNMACsExact(t *testing.T) {
+	r := tensor.NewRNG(14)
+	x := tensor.New(3, 21)
+	x.FillNormal(r, 0, 1)
+	w := tensor.New(13, 21)
+	w.FillNormal(r, 0, 1)
+	_, stats := FCNEngine{Tm: 5, Tn: 4, BatchLoop: true}.Run(x, w)
+	if want := int64(3 * 21 * 13); stats.MACs != want {
+		t.Fatalf("MACs = %d, want %d", stats.MACs, want)
+	}
+	if u := stats.Utilization(); u <= 0 || u > 1 {
+		t.Fatalf("utilization %v", u)
+	}
+}
+
+func TestFCNShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched FCN accepted")
+		}
+	}()
+	FCNEngine{Tm: 2, Tn: 2}.Run(tensor.New(2, 5), tensor.New(3, 6))
+}

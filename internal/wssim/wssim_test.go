@@ -1,0 +1,221 @@
+package wssim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"insitu/internal/fpgasim"
+	"insitu/internal/models"
+	"insitu/internal/tensor"
+)
+
+func randLayer(r *tensor.RNG) (input, weights *tensor.Tensor, g tensor.Conv2DGeom) {
+	g = tensor.Conv2DGeom{
+		InChannels:  1 + r.Intn(3),
+		InHeight:    4 + r.Intn(6),
+		InWidth:     4 + r.Intn(6),
+		KernelSize:  1 + r.Intn(3),
+		Stride:      1 + r.Intn(2),
+		Padding:     r.Intn(2),
+		OutChannels: 1 + r.Intn(5),
+	}
+	input = tensor.New(g.InChannels, g.InHeight, g.InWidth)
+	input.FillNormal(r, 0, 1)
+	weights = tensor.New(g.OutChannels, g.InChannels, g.KernelSize, g.KernelSize)
+	weights.FillNormal(r, 0, 1)
+	return input, weights, g
+}
+
+func tensorsClose(t *testing.T, got, want *tensor.Tensor, tol float64) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("shape mismatch: %v vs %v", got.Shape(), want.Shape())
+	}
+	for i := range got.Data {
+		if math.Abs(float64(got.Data[i]-want.Data[i])) > tol {
+			t.Fatalf("element %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// The headline property: the WSS dataflow of Fig. 18 computes correct
+// convolutions.
+func TestWSSDataflowComputesConvolution(t *testing.T) {
+	r := tensor.NewRNG(1)
+	e := WSSEngine{Tr: 3, Tc: 4}
+	for trial := 0; trial < 10; trial++ {
+		input, weights, g := randLayer(r)
+		for _, group := range []int{1, 2, 3} {
+			got, _ := e.RunConvGroup(input, weights, g, group)
+			tensorsClose(t, got, ReferenceConv(input, weights, g), 1e-3)
+		}
+	}
+}
+
+func TestNWSDataflowComputesConvolution(t *testing.T) {
+	r := tensor.NewRNG(2)
+	e := NWSEngine{Tm: 3, Tn: 2}
+	for trial := 0; trial < 10; trial++ {
+		input, weights, g := randLayer(r)
+		got, _ := e.RunConv(input, weights, g)
+		tensorsClose(t, got, ReferenceConv(input, weights, g), 1e-3)
+	}
+}
+
+// The simulated cycle count must equal the paper's eq. (11) closed form —
+// the analytic model in internal/fpgasim is thereby validated against an
+// executable dataflow.
+func TestWSSCyclesMatchEq11(t *testing.T) {
+	r := tensor.NewRNG(3)
+	e := WSSEngine{Tr: 4, Tc: 4}
+	analytic := fpgasim.WSSEngine{Tr: 4, Tc: 4}
+	for trial := 0; trial < 10; trial++ {
+		input, weights, g := randLayer(r)
+		spec := models.LayerSpec{
+			Kind: models.Conv, N: g.InChannels, M: g.OutChannels,
+			K: g.KernelSize, R: g.OutHeight(), C: g.OutWidth(),
+		}
+		for _, group := range []int{1, 2, 4} {
+			_, stats := e.RunConvGroup(input, weights, g, group)
+			want := analytic.ConvCyclesGroup(spec, group)
+			if stats.Cycles != want {
+				t.Fatalf("trial %d group %d: simulated %d cycles, eq.11 says %d (geom %+v)",
+					trial, group, stats.Cycles, want, g)
+			}
+		}
+	}
+}
+
+// Same validation for the NWS engine against the Fig. 9 loop count.
+func TestNWSCyclesMatchAnalytic(t *testing.T) {
+	r := tensor.NewRNG(4)
+	e := NWSEngine{Tm: 4, Tn: 2}
+	analytic := fpgasim.NWSEngine{Tm: 4, Tn: 2}
+	for trial := 0; trial < 10; trial++ {
+		input, weights, g := randLayer(r)
+		spec := models.LayerSpec{
+			Kind: models.Conv, N: g.InChannels, M: g.OutChannels,
+			K: g.KernelSize, R: g.OutHeight(), C: g.OutWidth(),
+		}
+		_, stats := e.RunConv(input, weights, g)
+		if want := analytic.ConvCycles(spec); stats.Cycles != want {
+			t.Fatalf("trial %d: simulated %d cycles, analytic %d (geom %+v)",
+				trial, stats.Cycles, want, g)
+		}
+	}
+}
+
+// WSS broadcasts exactly one weight word per cycle per engine — the
+// second level of weight sharing. NWS needs Tm×Tn words per cycle.
+func TestWeightTrafficAdvantage(t *testing.T) {
+	r := tensor.NewRNG(5)
+	input, weights, g := randLayer(r)
+	wss := WSSEngine{Tr: 4, Tc: 4}
+	nws := NWSEngine{Tm: 4, Tn: 4}
+	_, ws := wss.RunConvGroup(input, weights, g, 1)
+	_, ns := nws.RunConv(input, weights, g)
+	if ws.WeightBroadcasts != ws.Cycles {
+		t.Fatalf("WSS broadcasts %d != cycles %d", ws.WeightBroadcasts, ws.Cycles)
+	}
+	if ns.WeightBroadcasts != ns.Cycles*16 {
+		t.Fatalf("NWS broadcasts %d != cycles×PEs %d", ns.WeightBroadcasts, ns.Cycles*16)
+	}
+	// Per useful MAC, WSS moves far fewer weight words.
+	wssPerMAC := float64(ws.WeightBroadcasts) / float64(ws.MACs)
+	nwsPerMAC := float64(ns.WeightBroadcasts) / float64(ns.MACs)
+	if wssPerMAC >= nwsPerMAC {
+		t.Fatalf("WSS weight traffic per MAC (%v) not below NWS (%v)", wssPerMAC, nwsPerMAC)
+	}
+}
+
+// MAC counts are exact: every simulated engine performs precisely the
+// layer's ops (eq. 1 / 2 per MAC) regardless of array shape.
+func TestMACCountsExact(t *testing.T) {
+	r := tensor.NewRNG(6)
+	for trial := 0; trial < 5; trial++ {
+		input, weights, g := randLayer(r)
+		if g.Padding != 0 {
+			g.Padding = 0 // padded taps skip MACs; exact count needs no padding
+			if g.OutHeight() < 1 || g.OutWidth() < 1 {
+				continue
+			}
+		}
+		spec := models.LayerSpec{
+			Kind: models.Conv, N: g.InChannels, M: g.OutChannels,
+			K: g.KernelSize, R: g.OutHeight(), C: g.OutWidth(),
+		}
+		wantMACs := spec.Ops() / 2
+		_, ws := WSSEngine{Tr: 3, Tc: 3}.RunConvGroup(input, weights, g, 2)
+		if ws.MACs != wantMACs {
+			t.Fatalf("WSS MACs %d, want %d", ws.MACs, wantMACs)
+		}
+		_, ns := NWSEngine{Tm: 2, Tn: 2}.RunConv(input, weights, g)
+		if ns.MACs != wantMACs {
+			t.Fatalf("NWS MACs %d, want %d", ns.MACs, wantMACs)
+		}
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	r := tensor.NewRNG(7)
+	input, weights, g := randLayer(r)
+	_, ws := WSSEngine{Tr: 5, Tc: 5}.RunConvGroup(input, weights, g, 2)
+	if u := ws.Utilization(); u <= 0 || u > 1 {
+		t.Fatalf("WSS utilization %v", u)
+	}
+	_, ns := NWSEngine{Tm: 7, Tn: 7}.RunConv(input, weights, g)
+	if u := ns.Utilization(); u <= 0 || u > 1 {
+		t.Fatalf("NWS utilization %v", u)
+	}
+}
+
+// A perfectly-fitting array reaches full utilization on an unpadded
+// layer.
+func TestPerfectFitFullUtilization(t *testing.T) {
+	g := tensor.Conv2DGeom{InChannels: 2, InHeight: 6, InWidth: 6, KernelSize: 3, Stride: 1, Padding: 0, OutChannels: 4}
+	r := tensor.NewRNG(8)
+	input := tensor.New(2, 6, 6)
+	input.FillNormal(r, 0, 1)
+	weights := tensor.New(4, 2, 3, 3)
+	weights.FillNormal(r, 0, 1)
+	// Output is 4×4; a 4×4 WSS array with group 4 fits exactly.
+	_, stats := WSSEngine{Tr: 4, Tc: 4}.RunConvGroup(input, weights, g, 4)
+	if u := stats.Utilization(); math.Abs(u-1) > 1e-9 {
+		t.Fatalf("perfect fit utilization = %v, want 1", u)
+	}
+}
+
+// Property: for random small layers, WSS group output is independent of
+// group size (work partitioning must not change results).
+func TestQuickGroupPartitionInvariance(t *testing.T) {
+	r := tensor.NewRNG(9)
+	e := WSSEngine{Tr: 3, Tc: 3}
+	f := func(seed uint16) bool {
+		rr := tensor.NewRNG(uint64(seed) + r.Uint64()%911)
+		input, weights, g := randLayer(rr)
+		a, _ := e.RunConvGroup(input, weights, g, 1)
+		b, _ := e.RunConvGroup(input, weights, g, 3)
+		for i := range a.Data {
+			if math.Abs(float64(a.Data[i]-b.Data[i])) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateShapesPanics(t *testing.T) {
+	g := tensor.Conv2DGeom{InChannels: 2, InHeight: 4, InWidth: 4, KernelSize: 3, Stride: 1, Padding: 1, OutChannels: 2}
+	bad := tensor.New(1, 4, 4) // wrong channel count
+	w := tensor.New(2, 2, 3, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad input accepted")
+		}
+	}()
+	WSSEngine{Tr: 2, Tc: 2}.RunConvGroup(bad, w, g, 1)
+}
