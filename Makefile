@@ -1,0 +1,39 @@
+# Development targets for the insitu reproduction. `make check` is the
+# pre-commit gate: vet, build, the full test suite under the race
+# detector, and a benchmark smoke run of the compute-kernel hot path.
+
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke bench-kernels bench-json clean
+
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick proof that the blocked kernels still run fast and allocation-free:
+# a short -benchtime keeps this under a minute.
+bench-smoke:
+	$(GO) test -run NONE -bench 'MatMul|Conv|Dense|TrainStep' -benchmem -benchtime 200ms \
+		./internal/tensor/ ./internal/nn/ .
+
+# Full kernel/layer benchmark sweep at the default benchtime.
+bench-kernels:
+	$(GO) test -run NONE -bench 'MatMul|Im2Col|Col2Im|Conv|Dense' -benchmem \
+		./internal/tensor/ ./internal/nn/
+
+# Machine-readable record of the paper-artifact generators.
+bench-json:
+	$(GO) run ./cmd/insitu-bench -exp all -scale small -json BENCH_insitu.json >/dev/null
+
+clean:
+	$(GO) clean ./...

@@ -19,6 +19,8 @@ import (
 	"insitu/internal/core"
 	"insitu/internal/experiments"
 	"insitu/internal/fpgasim"
+	"insitu/internal/models"
+	"insitu/internal/tensor"
 )
 
 var printOnce sync.Map
@@ -27,6 +29,33 @@ var printOnce sync.Map
 func printTable(name, rendered string) {
 	if _, loaded := printOnce.LoadOrStore(name, true); !loaded {
 		fmt.Printf("\n%s\n", rendered)
+	}
+}
+
+// ---- Hot path: one SGD step of the reference model. ----
+
+// BenchmarkTrainStep measures the end-to-end cost of a single training
+// step on TinyAlex — forward, backward, and optimizer update — which is
+// the quantity every in-situ incremental-update experiment ultimately
+// pays per sample batch. It exercises the blocked matmul/im2col kernel
+// layer and its workspace pools directly.
+func BenchmarkTrainStep(b *testing.B) {
+	const batch = 8
+	net := models.TinyAlex(10, 7)
+	rng := tensor.NewRNG(7)
+	x := tensor.New(batch, models.ImgChannels, models.ImgSize, models.ImgSize)
+	x.FillNormal(rng, 0, 1)
+	labels := make([]int, batch)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	net.ZeroGrad()
+	net.TrainStep(x, labels) // warm kernel and gradient pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroGrad()
+		net.TrainStep(x, labels)
 	}
 }
 

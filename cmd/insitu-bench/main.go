@@ -10,21 +10,41 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"insitu/internal/core"
 	"insitu/internal/experiments"
 	"insitu/internal/metrics"
 )
 
+// benchRecord is one experiment's cost in the -json report.
+type benchRecord struct {
+	Exp        string `json:"exp"`
+	NsPerOp    int64  `json:"ns_per_op"`
+	BytesPerOp uint64 `json:"bytes_per_op"`
+}
+
+// benchReport is the machine-readable artifact written by -json.
+type benchReport struct {
+	Schema     string        `json:"schema"`
+	Timestamp  string        `json:"timestamp"`
+	Scale      string        `json:"scale"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Results    []benchRecord `json:"results"`
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment id (or 'all')")
 	scaleName := flag.String("scale", "paper", "learning-experiment scale: small or paper")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	jsonPath := flag.String("json", "", "also write a BENCH json record (wall time and bytes allocated per experiment) to this path")
 	flag.Parse()
 
 	scale := experiments.Paper
@@ -81,6 +101,12 @@ func main() {
 		}
 		sort.Strings(ids)
 	}
+	report := benchReport{
+		Schema:     "insitu-bench/v1",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Scale:      *scaleName,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
 	for _, id := range ids {
 		run, ok := runners[id]
 		if !ok {
@@ -92,11 +118,35 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s, all\n", id, strings.Join(known, ", "))
 			os.Exit(2)
 		}
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
 		table := run()
+		elapsed := time.Since(start)
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		report.Results = append(report.Results, benchRecord{
+			Exp:        id,
+			NsPerOp:    elapsed.Nanoseconds(),
+			BytesPerOp: after.TotalAlloc - before.TotalAlloc,
+		})
 		if *csv {
 			fmt.Print(table.CSV())
 		} else {
 			fmt.Println(table.String())
 		}
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encoding -json report: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing -json report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 	}
 }

@@ -1,0 +1,77 @@
+package nn
+
+import (
+	"testing"
+
+	"insitu/internal/tensor"
+)
+
+// Benchmarks for the training/inference hot path. Steady-state kernel
+// work (matmul, im2col, gradient accumulation, scratch) is allocation-
+// free; what remains per step is the freshly returned activations.
+
+func benchConvNet() (*Network, *tensor.Tensor, []int) {
+	rng := tensor.NewRNG(7)
+	g := tensor.Conv2DGeom{InChannels: 8, InHeight: 16, InWidth: 16, KernelSize: 3, Stride: 1, Padding: 1, OutChannels: 16}
+	net := NewNetwork("bench",
+		NewConv2D("conv1", g, rng),
+		NewReLU("relu1"),
+		NewFlatten("flat"),
+		NewDense("fc1", 16*16*16, 10, rng),
+	)
+	x := tensor.New(8, 8, 16, 16)
+	x.FillNormal(rng, 0, 1)
+	labels := make([]int, 8)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	return net, x, labels
+}
+
+func benchDenseNet() (*Network, *tensor.Tensor, []int) {
+	rng := tensor.NewRNG(9)
+	net := NewNetwork("bench-fc",
+		NewDense("fc1", 512, 512, rng),
+		NewReLU("relu"),
+		NewDense("fc2", 512, 10, rng),
+	)
+	x := tensor.New(32, 512)
+	x.FillNormal(rng, 0, 1)
+	labels := make([]int, 32)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	return net, x, labels
+}
+
+func BenchmarkConvTrainStep(b *testing.B) {
+	net, x, labels := benchConvNet()
+	net.TrainStep(x, labels)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroGrad()
+		net.TrainStep(x, labels)
+	}
+}
+
+func BenchmarkDenseTrainStep(b *testing.B) {
+	net, x, labels := benchDenseNet()
+	net.TrainStep(x, labels)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroGrad()
+		net.TrainStep(x, labels)
+	}
+}
+
+func BenchmarkConvForwardEval(b *testing.B) {
+	net, x, _ := benchConvNet()
+	net.Forward(x, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x, false)
+	}
+}

@@ -21,6 +21,20 @@ type Conv2D struct {
 	cols    []*tensor.Tensor // per-sample column matrices (train mode)
 	inShape []int
 	lastBat int
+
+	// ws pools the per-chunk scratch (eval-mode column matrices, backward
+	// dcols) so steady-state passes reuse the same storage; grads holds
+	// the per-chunk gradient accumulators, allocated once and reused
+	// every step.
+	ws    tensor.Workspace
+	grads []chunkGrad
+	dx    *tensor.Tensor
+}
+
+// chunkGrad is one parallel chunk's private gradient accumulator pair.
+type chunkGrad struct {
+	dW *tensor.Tensor
+	dB *tensor.Tensor
 }
 
 // NewConv2D constructs a convolution layer with He-initialized weights.
@@ -77,7 +91,8 @@ func (l *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	tensor.ParallelChunks(batch, func(_, b0, b1 int) {
 		var scratch *tensor.Tensor
 		if !train {
-			scratch = tensor.New(g.ColRows(), g.ColCols())
+			scratch = l.ws.Get(g.ColRows(), g.ColCols())
+			defer l.ws.Put(scratch)
 		}
 		for b := b0; b < b1; b++ {
 			in := tensor.FromSlice(x.Data[b*perImage:(b+1)*perImage], g.InChannels, g.InHeight, g.InWidth)
@@ -113,28 +128,42 @@ func (l *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	outH, outW := g.OutHeight(), g.OutWidth()
 	perOut := g.OutChannels * outH * outW
 	perImage := g.InChannels * g.InHeight * g.InWidth
-	dx := tensor.New(l.inShape...)
+	// The input-gradient buffer is reused across steps; only the batch
+	// dimension can change between calls (geometry is fixed per layer).
+	if l.dx == nil || l.dx.Dim(0) != batch {
+		l.dx = tensor.New(l.inShape...)
+	}
+	dx := l.dx
 	fm := l.W.Value.Reshape(g.OutChannels, g.ColRows())
 
 	// Per-chunk gradient accumulators avoid contention on the shared
 	// parameter gradients; they are reduced after the parallel section.
-	type chunkGrad struct {
-		dW *tensor.Tensor
-		dB *tensor.Tensor
+	// The accumulator tensors persist on the layer across steps.
+	if cap(l.grads) < batch {
+		l.grads = make([]chunkGrad, batch) // at most one per chunk; indexed by chunk
 	}
-	grads := make([]chunkGrad, batch) // at most one per chunk; indexed by chunk
+	grads := l.grads[:batch]
 	used := tensor.ParallelChunks(batch, func(chunk, b0, b1 int) {
 		var gw, gb *tensor.Tensor
 		if !l.W.Frozen {
-			gw = tensor.New(g.OutChannels, g.ColRows())
-			gb = tensor.New(g.OutChannels)
-			grads[chunk] = chunkGrad{dW: gw, dB: gb}
+			if grads[chunk].dW == nil {
+				grads[chunk] = chunkGrad{
+					dW: tensor.New(g.OutChannels, g.ColRows()),
+					dB: tensor.New(g.OutChannels),
+				}
+			}
+			gw, gb = grads[chunk].dW, grads[chunk].dB
+			gw.Zero()
+			gb.Zero()
 		}
+		dcols := l.ws.Get(g.ColRows(), g.ColCols())
+		defer l.ws.Put(dcols)
 		for b := b0; b < b1; b++ {
 			dyb := tensor.FromSlice(dy.Data[b*perOut:(b+1)*perOut], g.OutChannels, outH*outW)
 			if !l.W.Frozen {
-				// dW += dy · colsᵀ   ([M,RC] × [RC,NK²])
-				gw.Add(tensor.MatMulTransB(dyb, l.cols[b]))
+				// dW += dy · colsᵀ   ([M,RC] × [RC,NK²]), accumulated
+				// in place — no per-sample gradient tensor.
+				tensor.MatMulTransBInto(gw, dyb, l.cols[b], true)
 				for m := 0; m < g.OutChannels; m++ {
 					var s float64
 					row := dyb.Data[m*outH*outW : (m+1)*outH*outW]
@@ -145,7 +174,7 @@ func (l *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 				}
 			}
 			// dcols = Wᵀ · dy   ([NK²,M] × [M,RC])
-			dcols := tensor.MatMulTransA(fm, dyb)
+			tensor.MatMulTransAInto(dcols, fm, dyb, false)
 			dxb := tensor.FromSlice(dx.Data[b*perImage:(b+1)*perImage], g.InChannels, g.InHeight, g.InWidth)
 			tensor.Col2Im(dcols, g, dxb)
 		}

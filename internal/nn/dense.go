@@ -17,6 +17,7 @@ type Dense struct {
 	B *Param // [Out]
 
 	lastX *tensor.Tensor
+	dx    *tensor.Tensor // input-gradient buffer, reused across steps
 }
 
 // NewDense constructs a fully-connected layer with He-initialized weights.
@@ -67,9 +68,9 @@ func (l *Dense) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	}
 	batch := dy.Dim(0)
 	if !l.W.Frozen {
-		// dW += dyᵀ · x  ([Out,B] × [B,In])
-		gw := tensor.MatMulTransA(dy, l.lastX)
-		l.W.Grad.Add(gw)
+		// dW += dyᵀ · x  ([Out,B] × [B,In]), accumulated straight into
+		// the parameter gradient — no intermediate tensor.
+		tensor.MatMulTransAInto(l.W.Grad, dy, l.lastX, true)
 		for b := 0; b < batch; b++ {
 			row := dy.Data[b*l.Out : (b+1)*l.Out]
 			for j, v := range row {
@@ -77,6 +78,12 @@ func (l *Dense) Backward(dy *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	// dx = dy · W  ([B,Out] × [Out,In])
-	return tensor.MatMul(dy, l.W.Value)
+	// dx = dy · W  ([B,Out] × [Out,In]), written into the reusable
+	// buffer. The previous step's dx is no longer referenced by then:
+	// it was consumed by the preceding layer's backward pass.
+	if l.dx == nil || l.dx.Dim(0) != batch {
+		l.dx = tensor.New(batch, l.In)
+	}
+	tensor.MatMulInto(l.dx, dy, l.W.Value)
+	return l.dx
 }

@@ -1,0 +1,326 @@
+package tensor
+
+// This file implements the cache-blocked GEMM kernel behind the MatMul*
+// API. The structure is the classic three-level blocking scheme (as in
+// BLIS/GotoBLAS, scaled down for pure Go):
+//
+//   - C is cut into tileM×tileN macro-tiles; tiles are independent, so
+//     they double as the unit of parallelism (2-D, so both tall-narrow
+//     and short-wide problems split into enough tiles).
+//   - Within a tile, the k dimension is walked in kcBlock slices. For
+//     each slice the relevant panel of B is packed into ⌈nb/nr⌉ column
+//     micro-panels and the panel of A into ⌈mb/mr⌉ row micro-panels,
+//     zero-padded to full micro-tile width. Packing makes the inner
+//     loops stream over contiguous memory regardless of transposition
+//     and pushes all bounds/edge logic out of the hot loop.
+//   - The micro-kernel multiplies one kb×mr A-panel by one kb×nr
+//     B-panel, keeping the mr×nr accumulator block in registers, so each
+//     loaded element is reused mr (resp. nr) times. On amd64 the
+//     micro-kernel is hand-written SSE (kernel_amd64.s): the 4×8
+//     accumulator block is eight XMM registers of packed floats, which is
+//     what actually lifts throughput past the scalar mul/add ceiling.
+//     Other architectures use the pure-Go kernel in kernel_generic.go,
+//     which accumulates in the identical per-element order, so results
+//     are bit-for-bit the same.
+//
+// Transposed operands are handled entirely in the packing step; the
+// micro-kernel is oblivious. All scratch comes from Workspace pools, so
+// steady-state calls do not allocate.
+
+const (
+	mr = 4 // micro-tile rows
+	nr = 8 // micro-tile cols (two XMM vectors)
+
+	kcBlock = 256 // k-slice per packing round
+	tileM   = 64  // macro-tile rows   (A block: tileM×kcBlock = 64 KiB)
+	tileN   = 256 // macro-tile cols   (B block: kcBlock×tileN = 256 KiB)
+
+	// Problems with fewer multiply-adds than this run the plain loops in
+	// gemmSmall: below it, packing costs more than it saves.
+	smallGemmFlops = 16 * 1024
+
+	// Minimum multiply-adds before a gemm tries to go parallel.
+	parallelGemmFlops = 1 << 17
+)
+
+// gemmJob carries one GEMM problem. It is stored by value inside the
+// worker pool's job slot so that parallel dispatch needs no allocation.
+type gemmJob struct {
+	c, a, b        []float32
+	m, n, k        int
+	lda, ldb       int
+	transA, transB bool
+	accumulate     bool
+	tilesN         int // tiles per row of the macro-tile grid
+}
+
+// packA and packB scratch. Two pools, because the two buffer sizes
+// differ and a single pool would churn between them.
+var (
+	packAPool Workspace
+	packBPool Workspace
+)
+
+// gemm computes C = op(A)·op(B) (or C += … when accumulate is set) for
+// row-major operands. op(A) is m×k stored with leading dimension lda
+// (k×m when transA), op(B) is k×n with leading dimension ldb (n×k when
+// transB), and C is m×n.
+func gemm(c, a, b []float32, transA, transB bool, m, n, k int, accumulate bool) {
+	lda := k
+	if transA {
+		lda = m
+	}
+	ldb := n
+	if transB {
+		ldb = k
+	}
+	// Skinny or tiny problems: blocking buys nothing, run plain loops.
+	if m < mr || n < nr || k < 16 || m*n*k <= smallGemmFlops {
+		gemmSmall(c, a, b, transA, transB, m, n, k, lda, ldb, accumulate)
+		return
+	}
+	job := gemmJob{
+		c: c, a: a, b: b,
+		m: m, n: n, k: k,
+		lda: lda, ldb: ldb,
+		transA: transA, transB: transB,
+		accumulate: accumulate,
+		tilesN:     (n + tileN - 1) / tileN,
+	}
+	tiles := ((m + tileM - 1) / tileM) * job.tilesN
+	if m*n*k >= parallelGemmFlops && tiles >= 2 && runGemmParallel(getPool(), &job, tiles) {
+		return
+	}
+	for t := 0; t < tiles; t++ {
+		gemmTile(&job, t)
+	}
+}
+
+// gemmTile computes one tileM×tileN macro-tile of C. Tiles are disjoint
+// in C, so any number of them may run concurrently.
+func gemmTile(g *gemmJob, tile int) {
+	i0 := (tile / g.tilesN) * tileM
+	i1 := i0 + tileM
+	if i1 > g.m {
+		i1 = g.m
+	}
+	j0 := (tile % g.tilesN) * tileN
+	j1 := j0 + tileN
+	if j1 > g.n {
+		j1 = g.n
+	}
+	if !g.accumulate {
+		for i := i0; i < i1; i++ {
+			row := g.c[i*g.n+j0 : i*g.n+j1]
+			for x := range row {
+				row[x] = 0
+			}
+		}
+	}
+	ap := packAPool.GetSlice(tileM * kcBlock)
+	bp := packBPool.GetSlice(kcBlock * tileN)
+	abuf, bbuf := *ap, *bp
+	mb, nb := i1-i0, j1-j0
+	mPanels := (mb + mr - 1) / mr
+	nPanels := (nb + nr - 1) / nr
+	for p0 := 0; p0 < g.k; p0 += kcBlock {
+		kb := kcBlock
+		if p0+kb > g.k {
+			kb = g.k - p0
+		}
+		packB(bbuf, g.b, g.ldb, g.transB, p0, kb, j0, nb)
+		packA(abuf, g.a, g.lda, g.transA, i0, mb, p0, kb)
+		for jp := 0; jp < nPanels; jp++ {
+			bpan := bbuf[jp*kb*nr:]
+			jj := j0 + jp*nr
+			nrem := j1 - jj
+			for ip := 0; ip < mPanels; ip++ {
+				apan := abuf[ip*kb*mr:]
+				ii := i0 + ip*mr
+				mrem := i1 - ii
+				cc := g.c[ii*g.n+jj:]
+				if mrem >= mr && nrem >= nr {
+					microKernel(cc, g.n, apan, bpan, kb)
+				} else {
+					microKernelEdge(cc, g.n, apan, bpan, kb, mrem, nrem)
+				}
+			}
+		}
+	}
+	packAPool.PutSlice(ap)
+	packBPool.PutSlice(bp)
+}
+
+// packA copies the mb×kb block of op(A) starting at row i0, depth p0 into
+// dst as row micro-panels: dst[(ip·kb+p)·mr+ir] = op(A)[i0+ip·mr+ir, p0+p].
+// Rows past mb are zero-filled so the micro-kernel never sees a ragged
+// panel.
+func packA(dst, a []float32, lda int, transA bool, i0, mb, p0, kb int) {
+	mPanels := (mb + mr - 1) / mr
+	for ip := 0; ip < mPanels; ip++ {
+		d := dst[ip*kb*mr : (ip+1)*kb*mr]
+		ii := i0 + ip*mr
+		h := mb - ip*mr
+		if h > mr {
+			h = mr
+		}
+		if !transA {
+			// A is m×k: logical row i is contiguous in memory.
+			for ir := 0; ir < h; ir++ {
+				src := a[(ii+ir)*lda+p0:]
+				for p := 0; p < kb; p++ {
+					d[p*mr+ir] = src[p]
+				}
+			}
+			for ir := h; ir < mr; ir++ {
+				for p := 0; p < kb; p++ {
+					d[p*mr+ir] = 0
+				}
+			}
+		} else {
+			// A is k×m: depth p is contiguous in memory.
+			for p := 0; p < kb; p++ {
+				src := a[(p0+p)*lda+ii:]
+				dp := d[p*mr : p*mr+mr]
+				if h == mr {
+					dp[0], dp[1], dp[2], dp[3] = src[0], src[1], src[2], src[3]
+				} else {
+					for ir := 0; ir < h; ir++ {
+						dp[ir] = src[ir]
+					}
+					for ir := h; ir < mr; ir++ {
+						dp[ir] = 0
+					}
+				}
+			}
+		}
+	}
+}
+
+// packB copies the kb×nb block of op(B) starting at depth p0, column j0
+// into dst as column micro-panels: dst[(jp·kb+p)·nr+jr] =
+// op(B)[p0+p, j0+jp·nr+jr], zero-padding columns past nb.
+func packB(dst, b []float32, ldb int, transB bool, p0, kb, j0, nb int) {
+	nPanels := (nb + nr - 1) / nr
+	for jp := 0; jp < nPanels; jp++ {
+		d := dst[jp*kb*nr : (jp+1)*kb*nr]
+		jj := j0 + jp*nr
+		w := nb - jp*nr
+		if w > nr {
+			w = nr
+		}
+		if !transB {
+			// B is k×n: depth p is contiguous in memory.
+			for p := 0; p < kb; p++ {
+				src := b[(p0+p)*ldb+jj:]
+				dp := d[p*nr : p*nr+nr]
+				if w == nr {
+					copy(dp, src[:nr])
+				} else {
+					for jr := 0; jr < w; jr++ {
+						dp[jr] = src[jr]
+					}
+					for jr := w; jr < nr; jr++ {
+						dp[jr] = 0
+					}
+				}
+			}
+		} else {
+			// B is n×k: logical column j is contiguous in memory.
+			for jr := 0; jr < w; jr++ {
+				src := b[(jj+jr)*ldb+p0:]
+				for p := 0; p < kb; p++ {
+					d[p*nr+jr] = src[p]
+				}
+			}
+			for jr := w; jr < nr; jr++ {
+				for p := 0; p < kb; p++ {
+					d[p*nr+jr] = 0
+				}
+			}
+		}
+	}
+}
+
+// microKernelEdge handles partial tiles at the right/bottom fringe: the
+// panels are zero-padded, so the full product lands in a stack buffer and
+// only the valid mrem×nrem corner is added into C.
+func microKernelEdge(c []float32, ldc int, ap, bp []float32, kb, mrem, nrem int) {
+	var tmp [mr * nr]float32
+	microKernel(tmp[:], nr, ap, bp, kb)
+	if mrem > mr {
+		mrem = mr
+	}
+	if nrem > nr {
+		nrem = nr
+	}
+	for i := 0; i < mrem; i++ {
+		ci := c[i*ldc:]
+		ti := tmp[i*nr:]
+		for j := 0; j < nrem; j++ {
+			ci[j] += ti[j]
+		}
+	}
+}
+
+// gemmSmall is the unblocked path for problems too small (or too skinny)
+// to amortize packing. Loop order is chosen per transpose case so the
+// innermost loop always streams over contiguous memory.
+func gemmSmall(c, a, b []float32, transA, transB bool, m, n, k, lda, ldb int, accumulate bool) {
+	if !accumulate {
+		cc := c[:m*n]
+		for i := range cc {
+			cc[i] = 0
+		}
+	}
+	switch {
+	case !transA && !transB:
+		for i := 0; i < m; i++ {
+			ci := c[i*n : (i+1)*n]
+			ai := a[i*lda : i*lda+k]
+			for p, av := range ai {
+				bp := b[p*ldb : p*ldb+n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
+			}
+		}
+	case transA && !transB:
+		// A is k×m: walk depth in the outer loop so both operand rows
+		// are contiguous.
+		for p := 0; p < k; p++ {
+			ap := a[p*lda : p*lda+m]
+			bp := b[p*ldb : p*ldb+n]
+			for i, av := range ap {
+				ci := c[i*n : (i+1)*n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
+			}
+		}
+	case !transA && transB:
+		// B is n×k: dot products of contiguous rows.
+		for i := 0; i < m; i++ {
+			ai := a[i*lda : i*lda+k]
+			ci := c[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := b[j*ldb : j*ldb+k]
+				var s float32
+				for p, av := range ai {
+					s += av * bj[p]
+				}
+				ci[j] += s
+			}
+		}
+	default: // transA && transB — unused by the public API, kept for completeness
+		for p := 0; p < k; p++ {
+			ap := a[p*lda : p*lda+m]
+			for i, av := range ap {
+				ci := c[i*n : (i+1)*n]
+				for j := 0; j < n; j++ {
+					ci[j] += av * b[j*ldb+p]
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,24 @@
+//go:build amd64
+
+package tensor
+
+// microKernelSSE is implemented in kernel_amd64.s. It accumulates the
+// full mr×nr (4×8) product of one packed A panel (kb×4) and one packed B
+// panel (kb×8) into C, using packed single-precision SSE arithmetic —
+// part of the amd64 baseline ISA, so it needs no CPU-feature gate. ldc is
+// in elements.
+//
+//go:noescape
+func microKernelSSE(c *float32, ldc int, ap, bp *float32, kb int)
+
+// microKernel dispatches one micro-tile. c must reach row 3, column 7 at
+// stride ldc; ap and bp hold kb×mr and kb×nr packed panels.
+func microKernel(c []float32, ldc int, ap, bp []float32, kb int) {
+	if kb <= 0 {
+		return
+	}
+	_ = ap[kb*mr-1]
+	_ = bp[kb*nr-1]
+	_ = c[3*ldc+7]
+	microKernelSSE(&c[0], ldc, &ap[0], &bp[0], kb)
+}

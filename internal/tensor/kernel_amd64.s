@@ -1,0 +1,107 @@
+// SSE micro-kernel for the blocked GEMM: C[4×8] += Aᵖᵃⁿᵉˡ · Bᵖᵃⁿᵉˡ.
+//
+// The A panel is kb×4 (one column of the micro-tile per lane position,
+// ap[p*4+i]) and the B panel is kb×8 (bp[p*8+j]). The eight XMM
+// accumulators X0–X7 hold the 4×8 tile as two 4-wide vectors per row;
+// each k step broadcasts one A element per row (MOVSS+SHUFPS) and does
+// two MULPS/ADDPS pairs against the B vectors. Only SSE1/SSE2
+// instructions are used — the amd64 baseline — so this runs everywhere
+// without feature detection.
+
+#include "textflag.h"
+
+// func microKernelSSE(c *float32, ldc int, ap, bp *float32, kb int)
+TEXT ·microKernelSSE(SB), NOSPLIT, $0-40
+	MOVQ c+0(FP), DI
+	MOVQ ldc+8(FP), DX
+	MOVQ ap+16(FP), SI
+	MOVQ bp+24(FP), BX
+	MOVQ kb+32(FP), CX
+	SHLQ $2, DX          // ldc in bytes
+
+	XORPS X0, X0         // row 0, cols 0-3
+	XORPS X1, X1         // row 0, cols 4-7
+	XORPS X2, X2         // row 1
+	XORPS X3, X3
+	XORPS X4, X4         // row 2
+	XORPS X5, X5
+	XORPS X6, X6         // row 3
+	XORPS X7, X7
+
+loop:
+	MOVUPS (BX), X8      // b[0:4]
+	MOVUPS 16(BX), X9    // b[4:8]
+
+	MOVSS  (SI), X10     // a[row0]
+	SHUFPS $0x00, X10, X10
+	MOVAPS X8, X11
+	MULPS  X10, X11
+	ADDPS  X11, X0
+	MOVAPS X9, X12
+	MULPS  X10, X12
+	ADDPS  X12, X1
+
+	MOVSS  4(SI), X10    // a[row1]
+	SHUFPS $0x00, X10, X10
+	MOVAPS X8, X11
+	MULPS  X10, X11
+	ADDPS  X11, X2
+	MOVAPS X9, X12
+	MULPS  X10, X12
+	ADDPS  X12, X3
+
+	MOVSS  8(SI), X10    // a[row2]
+	SHUFPS $0x00, X10, X10
+	MOVAPS X8, X11
+	MULPS  X10, X11
+	ADDPS  X11, X4
+	MOVAPS X9, X12
+	MULPS  X10, X12
+	ADDPS  X12, X5
+
+	MOVSS  12(SI), X10   // a[row3]
+	SHUFPS $0x00, X10, X10
+	MOVAPS X8, X11
+	MULPS  X10, X11
+	ADDPS  X11, X6
+	MOVAPS X9, X12
+	MULPS  X10, X12
+	ADDPS  X12, X7
+
+	ADDQ $16, SI
+	ADDQ $32, BX
+	DECQ CX
+	JNZ  loop
+
+	// C += accumulators, row by row.
+	MOVUPS (DI), X8
+	ADDPS  X0, X8
+	MOVUPS X8, (DI)
+	MOVUPS 16(DI), X9
+	ADDPS  X1, X9
+	MOVUPS X9, 16(DI)
+	ADDQ   DX, DI
+
+	MOVUPS (DI), X8
+	ADDPS  X2, X8
+	MOVUPS X8, (DI)
+	MOVUPS 16(DI), X9
+	ADDPS  X3, X9
+	MOVUPS X9, 16(DI)
+	ADDQ   DX, DI
+
+	MOVUPS (DI), X8
+	ADDPS  X4, X8
+	MOVUPS X8, (DI)
+	MOVUPS 16(DI), X9
+	ADDPS  X5, X9
+	MOVUPS X9, 16(DI)
+	ADDQ   DX, DI
+
+	MOVUPS (DI), X8
+	ADDPS  X6, X8
+	MOVUPS X8, (DI)
+	MOVUPS 16(DI), X9
+	ADDPS  X7, X9
+	MOVUPS X9, 16(DI)
+	RET

@@ -1,24 +1,24 @@
 package tensor
 
-import (
-	"runtime"
-	"sync"
-)
+// The MatMul* functions are thin shape-checking wrappers over the blocked
+// GEMM kernel in kernel.go. The *Into variants exist so hot paths (layer
+// backward passes, step loops) can write into reusable buffers — with
+// accumulate they fuse the historical "allocate a gradient tensor, then
+// Add it" pattern into a single allocation-free call.
 
 // MatMul computes C = A × B for 2-D tensors A (m×k) and B (k×n), writing
-// into a freshly allocated m×n tensor. Work is split across rows and runs
-// on up to GOMAXPROCS goroutines for large problems.
+// into a freshly allocated m×n tensor.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic("tensor: MatMul requires rank-2 tensors")
 	}
 	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
+	if b.shape[0] != k {
 		panic("tensor: MatMul inner dimension mismatch")
 	}
+	n := b.shape[1]
 	c := New(m, n)
-	matMulInto(c.Data, a.Data, b.Data, m, k, n)
+	gemm(c.Data, a.Data, b.Data, false, false, m, n, k, false)
 	return c
 }
 
@@ -30,114 +30,57 @@ func MatMulInto(c, a, b *Tensor) {
 	if b.shape[0] != k || c.shape[0] != m || c.shape[1] != n {
 		panic("tensor: MatMulInto shape mismatch")
 	}
-	matMulInto(c.Data, a.Data, b.Data, m, k, n)
-}
-
-// matMulInto is the scalar kernel: row-parallel, k-inner loop ordered
-// (i,p,j) so the innermost loop is a saxpy over contiguous memory.
-func matMulInto(c, a, b []float32, m, k, n int) {
-	for i := range c {
-		c[i] = 0
-	}
-	rowWork := func(i0, i1 int) {
-		for i := i0; i < i1; i++ {
-			ci := c[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := a[i*k+p]
-				if av == 0 {
-					continue
-				}
-				bp := b[p*n : (p+1)*n]
-				for j, bv := range bp {
-					ci[j] += av * bv
-				}
-			}
-		}
-	}
-	parallelRows(m, k*n, rowWork)
+	gemm(c.Data, a.Data, b.Data, false, false, m, n, k, false)
 }
 
 // MatMulTransA computes C = Aᵀ × B where A is k×m and B is k×n, yielding
 // an m×n tensor. Used for weight gradients (xᵀ·dy).
 func MatMulTransA(a, b *Tensor) *Tensor {
 	k, m := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
+	if b.shape[0] != k {
 		panic("tensor: MatMulTransA inner dimension mismatch")
 	}
+	n := b.shape[1]
 	c := New(m, n)
-	ad, bd, cd := a.Data, b.Data, c.Data
-	rowWork := func(i0, i1 int) {
-		for i := i0; i < i1; i++ {
-			ci := cd[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := ad[p*m+i]
-				if av == 0 {
-					continue
-				}
-				bp := bd[p*n : (p+1)*n]
-				for j, bv := range bp {
-					ci[j] += av * bv
-				}
-			}
-		}
-	}
-	parallelRows(m, k*n, rowWork)
+	gemm(c.Data, a.Data, b.Data, true, false, m, n, k, false)
 	return c
+}
+
+// MatMulTransAInto computes C = Aᵀ × B into an existing m×n tensor C,
+// where A is k×m and B is k×n. With accumulate it computes C += Aᵀ × B
+// instead, which is the allocation-free form of the backward-pass
+// gradient update Grad += xᵀ·dy.
+func MatMulTransAInto(c, a, b *Tensor, accumulate bool) {
+	k, m := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if b.shape[0] != k || c.shape[0] != m || c.shape[1] != n {
+		panic("tensor: MatMulTransAInto shape mismatch")
+	}
+	gemm(c.Data, a.Data, b.Data, true, false, m, n, k, accumulate)
 }
 
 // MatMulTransB computes C = A × Bᵀ where A is m×k and B is n×k, yielding
 // an m×n tensor. Used for input gradients (dy·Wᵀ).
 func MatMulTransB(a, b *Tensor) *Tensor {
 	m, k := a.shape[0], a.shape[1]
-	n, k2 := b.shape[0], b.shape[1]
-	if k != k2 {
+	if b.shape[1] != k {
 		panic("tensor: MatMulTransB inner dimension mismatch")
 	}
+	n := b.shape[0]
 	c := New(m, n)
-	ad, bd, cd := a.Data, b.Data, c.Data
-	rowWork := func(i0, i1 int) {
-		for i := i0; i < i1; i++ {
-			ai := ad[i*k : (i+1)*k]
-			ci := cd[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				bj := bd[j*k : (j+1)*k]
-				var s float32
-				for p, av := range ai {
-					s += av * bj[p]
-				}
-				ci[j] = s
-			}
-		}
-	}
-	parallelRows(m, k*n, rowWork)
+	gemm(c.Data, a.Data, b.Data, false, true, m, n, k, false)
 	return c
 }
 
-// parallelRows splits [0,m) row ranges across goroutines when the total
-// work (m × perRowCost) is large enough to amortize scheduling.
-func parallelRows(m, perRowCost int, work func(i0, i1 int)) {
-	const parallelThreshold = 1 << 16
-	procs := runtime.GOMAXPROCS(0)
-	if procs <= 1 || m < 2 || m*perRowCost < parallelThreshold {
-		work(0, m)
-		return
+// MatMulTransBInto computes C = A × Bᵀ into an existing m×n tensor C,
+// where A is m×k and B is n×k. With accumulate it computes C += A × Bᵀ,
+// the allocation-free form of the convolution weight-gradient update
+// dW += dy·colsᵀ.
+func MatMulTransBInto(c, a, b *Tensor, accumulate bool) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	if b.shape[1] != k || c.shape[0] != m || c.shape[1] != n {
+		panic("tensor: MatMulTransBInto shape mismatch")
 	}
-	if procs > m {
-		procs = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + procs - 1) / procs
-	for i0 := 0; i0 < m; i0 += chunk {
-		i1 := i0 + chunk
-		if i1 > m {
-			i1 = m
-		}
-		wg.Add(1)
-		go func(i0, i1 int) {
-			defer wg.Done()
-			work(i0, i1)
-		}(i0, i1)
-	}
-	wg.Wait()
+	gemm(c.Data, a.Data, b.Data, false, true, m, n, k, accumulate)
 }

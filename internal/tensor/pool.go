@@ -1,0 +1,98 @@
+package tensor
+
+import "sync"
+
+// Workspace is a pool of reusable scratch buffers. It exists so the hot
+// training/inference path can run with zero steady-state allocations: a
+// layer (or kernel) asks the workspace for a buffer at the start of a
+// pass and returns it at the end, and as long as the requested shapes are
+// stable the same storage is handed back every time. A Workspace is safe
+// for concurrent use; it is a thin wrapper around sync.Pool, so buffers
+// not currently checked out may be reclaimed by the garbage collector.
+//
+// The zero value is ready to use. Buffers come back with unspecified
+// contents — callers that need zeros must clear them.
+type Workspace struct {
+	slices  sync.Pool // *[]float32
+	tensors sync.Pool // *Tensor
+}
+
+// GetSlice returns a scratch slice of length n. Pass the returned pointer
+// back to PutSlice when done; the pointer indirection is what keeps the
+// round-trip through sync.Pool allocation-free.
+func (w *Workspace) GetSlice(n int) *[]float32 {
+	p, _ := w.slices.Get().(*[]float32)
+	if p == nil {
+		p = new([]float32)
+	}
+	if cap(*p) < n {
+		*p = make([]float32, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// PutSlice returns a slice obtained from GetSlice to the pool.
+func (w *Workspace) PutSlice(p *[]float32) { w.slices.Put(p) }
+
+// Get returns a scratch tensor of the given shape. When the pooled tensor
+// already has this shape (the steady state for a layer processing
+// same-sized batches) the call performs no allocation at all; otherwise
+// the header and, if needed, the storage are rebuilt. Contents are
+// unspecified.
+func (w *Workspace) Get(shape ...int) *Tensor {
+	// Validated inline (not via checkShape) so the variadic slice stays
+	// on the caller's stack: checkShape's formatted panic would force it
+	// to escape and cost an allocation per call.
+	if len(shape) == 0 {
+		panic("tensor: Workspace.Get requires a non-empty shape")
+	}
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic("tensor: Workspace.Get requires positive dimensions")
+		}
+		n *= d
+	}
+	t, _ := w.tensors.Get().(*Tensor)
+	if t == nil {
+		t = &Tensor{}
+	}
+	if !shapeEqual(t.shape, shape) {
+		if cap(t.Data) < n {
+			t.Data = make([]float32, n)
+		}
+		t.Data = t.Data[:n]
+		if cap(t.shape) < len(shape) {
+			t.shape = make([]int, len(shape))
+		}
+		t.shape = t.shape[:len(shape)]
+		copy(t.shape, shape)
+		if cap(t.strides) < len(shape) {
+			t.strides = make([]int, len(shape))
+		}
+		t.strides = t.strides[:len(shape)]
+		s := 1
+		for i := len(shape) - 1; i >= 0; i-- {
+			t.strides[i] = s
+			s *= shape[i]
+		}
+	}
+	return t
+}
+
+// Put returns a tensor obtained from Get to the pool. The caller must not
+// use t (or views of its storage) afterwards.
+func (w *Workspace) Put(t *Tensor) { w.tensors.Put(t) }
+
+func shapeEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

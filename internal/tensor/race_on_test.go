@@ -1,0 +1,8 @@
+//go:build race
+
+package tensor
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count assertions are skipped under it, since the race
+// runtime allocates shadow state on code paths that are otherwise free.
+const raceEnabled = true
