@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench-kernels bench-json clean
+.PHONY: check vet build test race bench-smoke bench-kernels bench-json trace-smoke clean
 
 check: vet build race bench-smoke
 
@@ -17,8 +17,10 @@ build:
 test:
 	$(GO) test ./...
 
+# The experiments package runs full learning loops; under the race
+# detector it exceeds go test's default 10m per-package timeout.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Quick proof that the blocked kernels still run fast and allocation-free:
 # a short -benchtime keeps this under a minute.
@@ -35,5 +37,16 @@ bench-kernels:
 bench-json:
 	$(GO) run ./cmd/insitu-bench -exp all -scale small -json BENCH_insitu.json >/dev/null
 
+# End-to-end observability proof: run a small closed-loop node simulation
+# with tracing on, then validate the JSONL (dense seq, monotonic ts) and
+# assert the stage/upload/deploy/planner events all fired.
+trace-smoke:
+	$(GO) run ./cmd/insitu-node -variant d -bootstrap 24 -stages 16,16 -classes 4 \
+		-trace-out trace-smoke.jsonl >/dev/null
+	$(GO) run ./cmd/insitu-tracecheck \
+		-require core.stage,core.upload,core.deploy,planner.plan trace-smoke.jsonl
+	rm -f trace-smoke.jsonl
+
 clean:
+	rm -f trace-smoke.jsonl
 	$(GO) clean ./...

@@ -22,22 +22,31 @@ import (
 	"insitu/internal/core"
 	"insitu/internal/experiments"
 	"insitu/internal/metrics"
+	"insitu/internal/obs"
+	"insitu/internal/telemetry"
 )
 
-// benchRecord is one experiment's cost in the -json report.
+// benchRecord is one experiment's cost in the -json report. With
+// -telemetry, Counters carries the kernel/pool/loop counter deltas
+// attributed to this experiment (FLOPs, pack bytes, workspace hits,
+// stages, uploads, …) next to the wall-clock cost.
 type benchRecord struct {
-	Exp        string `json:"exp"`
-	NsPerOp    int64  `json:"ns_per_op"`
-	BytesPerOp uint64 `json:"bytes_per_op"`
+	Exp        string           `json:"exp"`
+	NsPerOp    int64            `json:"ns_per_op"`
+	BytesPerOp uint64           `json:"bytes_per_op"`
+	Counters   map[string]int64 `json:"counters,omitempty"`
 }
 
 // benchReport is the machine-readable artifact written by -json.
+// Telemetry is the full end-of-run registry snapshot (counters, gauges,
+// per-layer timing histograms) when -telemetry is set.
 type benchReport struct {
-	Schema     string        `json:"schema"`
-	Timestamp  string        `json:"timestamp"`
-	Scale      string        `json:"scale"`
-	GoMaxProcs int           `json:"gomaxprocs"`
-	Results    []benchRecord `json:"results"`
+	Schema     string              `json:"schema"`
+	Timestamp  string              `json:"timestamp"`
+	Scale      string              `json:"scale"`
+	GoMaxProcs int                 `json:"gomaxprocs"`
+	Results    []benchRecord       `json:"results"`
+	Telemetry  *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 func main() {
@@ -45,6 +54,8 @@ func main() {
 	scaleName := flag.String("scale", "paper", "learning-experiment scale: small or paper")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	jsonPath := flag.String("json", "", "also write a BENCH json record (wall time and bytes allocated per experiment) to this path")
+	var obsFlags obs.Flags
+	obsFlags.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	scale := experiments.Paper
@@ -57,6 +68,12 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
 		os.Exit(2)
+	}
+
+	session, err := obs.Start(obsFlags)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "insitu-bench:", err)
+		os.Exit(1)
 	}
 
 	// The closed-loop comparison backs both table2 and fig25; build it
@@ -120,21 +137,30 @@ func main() {
 		}
 		var before runtime.MemStats
 		runtime.ReadMemStats(&before)
+		telBefore := session.Registry.Snapshot()
 		start := time.Now()
 		table := run()
 		elapsed := time.Since(start)
 		var after runtime.MemStats
 		runtime.ReadMemStats(&after)
-		report.Results = append(report.Results, benchRecord{
+		rec := benchRecord{
 			Exp:        id,
 			NsPerOp:    elapsed.Nanoseconds(),
 			BytesPerOp: after.TotalAlloc - before.TotalAlloc,
-		})
+		}
+		if session.Registry != nil {
+			rec.Counters = session.Registry.Snapshot().CounterDelta(telBefore)
+		}
+		report.Results = append(report.Results, rec)
 		if *csv {
 			fmt.Print(table.CSV())
 		} else {
 			fmt.Println(table.String())
 		}
+	}
+	if session.Registry != nil {
+		snap := session.Registry.Snapshot()
+		report.Telemetry = &snap
 	}
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(report, "", "  ")
@@ -148,5 +174,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+	}
+	if err := session.Close(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "insitu-bench:", err)
+		os.Exit(1)
 	}
 }

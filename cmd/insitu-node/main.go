@@ -5,6 +5,11 @@
 //
 // Variants follow the paper's Fig. 24: a (cloud-all), b
 // (cloud-diagnosis), c (in-situ diagnosis), d (In-situ AI).
+//
+// Observability: -telemetry prints a Prometheus-style counter dump on
+// exit, -trace-out FILE records stage/upload/deploy/planner events as
+// JSONL (validate with insitu-tracecheck), and -pprof-addr serves
+// pprof/expvar/metrics over HTTP while the simulation runs.
 package main
 
 import (
@@ -15,7 +20,12 @@ import (
 	"strings"
 
 	"insitu/internal/core"
+	"insitu/internal/device"
+	"insitu/internal/gpusim"
 	"insitu/internal/metrics"
+	"insitu/internal/models"
+	"insitu/internal/obs"
+	"insitu/internal/planner"
 )
 
 func main() {
@@ -25,6 +35,9 @@ func main() {
 	seed := flag.Uint64("seed", 7, "simulation seed")
 	classes := flag.Int("classes", 5, "object classes in the synthetic world")
 	severity := flag.Float64("severity", 0.7, "in-situ condition severity [0,1]")
+	latencyReq := flag.Float64("latency-req", 0.2, "per-frame latency requirement (s) for the serving plan")
+	var obsFlags obs.Flags
+	obsFlags.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	var kind core.SystemKind
@@ -52,10 +65,27 @@ func main() {
 		stages = append(stages, n)
 	}
 
+	session, err := obs.Start(obsFlags)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "insitu-node:", err)
+		os.Exit(1)
+	}
+
 	cfg := core.DefaultConfig(kind, *seed)
 	cfg.Classes = *classes
 	cfg.Severity = *severity
+	cfg.Trace = session.Tracer
 	sys := core.NewSystem(cfg)
+
+	// Serving-configuration planning: after every deployment the node
+	// re-plans its inference/diagnosis batches for the paper-scale model
+	// on the TX1-class GPU (planner.plan trace events, Fig. 21 live).
+	sim := gpusim.New(device.TX1())
+	inferSpec := models.AlexNet()
+	diagSpec := models.DiagnosisSpec(inferSpec, 100)
+	replan := func() {
+		planner.PlanSingleRunning(sim, inferSpec, diagSpec, *latencyReq, 256)
+	}
 
 	t := metrics.NewTable(
 		fmt.Sprintf("In-situ AI node simulation — variant %s (%v)", *variant, kind),
@@ -74,12 +104,18 @@ func main() {
 
 	fmt.Fprintln(os.Stderr, "bootstrapping...")
 	add(sys.Bootstrap(*bootstrap))
+	replan()
 	for i, n := range stages {
 		fmt.Fprintf(os.Stderr, "stage %d (%d images)...\n", i+1, n)
 		add(sys.RunStage(n))
+		replan()
 	}
 	fmt.Println(t.String())
 	m := sys.Meter()
 	fmt.Printf("uplink total: %d images, %.2f MB, %.3f J over %s\n",
 		m.Items, float64(m.Bytes)/1e6, m.Joules, m.Link.Name)
+	if err := session.Close(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "insitu-node:", err)
+		os.Exit(1)
+	}
 }

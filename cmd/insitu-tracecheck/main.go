@@ -1,0 +1,71 @@
+// Command insitu-tracecheck validates a JSONL trace produced with
+// -trace-out: every line must parse, sequence numbers must be dense and
+// timestamps monotonic. It prints per-event counts and can assert that
+// specific events are present, which is how `make trace-smoke` and CI
+// verify a live run end to end:
+//
+//	insitu-tracecheck -require core.stage,core.upload,planner.plan trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"insitu/internal/telemetry"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated event names that must appear at least once")
+	quiet := flag.Bool("q", false, "suppress the per-event summary")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: insitu-tracecheck [-require ev1,ev2] [-q] trace.jsonl")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	stats, err := telemetry.ValidateTrace(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	if stats.Records == 0 {
+		fatal(fmt.Errorf("%s: trace is empty", path))
+	}
+	if !*quiet {
+		events := make([]string, 0, len(stats.ByEvent))
+		for ev := range stats.ByEvent {
+			events = append(events, ev)
+		}
+		sort.Strings(events)
+		for _, ev := range events {
+			fmt.Printf("%-24s %d\n", ev, stats.ByEvent[ev])
+		}
+	}
+	var missing []string
+	if *require != "" {
+		for _, ev := range strings.Split(*require, ",") {
+			ev = strings.TrimSpace(ev)
+			if ev != "" && stats.ByEvent[ev] == 0 {
+				missing = append(missing, ev)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		fatal(fmt.Errorf("%s: %d records OK but required events missing: %s",
+			path, stats.Records, strings.Join(missing, ", ")))
+	}
+	fmt.Printf("%s: %d records OK\n", path, stats.Records)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "insitu-tracecheck:", err)
+	os.Exit(1)
+}

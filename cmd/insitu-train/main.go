@@ -20,6 +20,7 @@ import (
 	"insitu/internal/diagnosis"
 	"insitu/internal/jigsaw"
 	"insitu/internal/models"
+	"insitu/internal/obs"
 	"insitu/internal/tensor"
 	"insitu/internal/train"
 	"insitu/internal/transfer"
@@ -33,11 +34,18 @@ func main() {
 	images := flag.Int("images", 256, "raw training images")
 	steps := flag.Int("steps", 150, "training steps per phase")
 	seed := flag.Uint64("seed", 42, "seed")
+	var obsFlags obs.Flags
+	obsFlags.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *check != "" {
 		verify(*check, *classes, *perms, *seed)
 		return
+	}
+
+	session, err := obs.Start(obsFlags)
+	if err != nil {
+		fatal(err)
 	}
 
 	world := dataset.NewGenerator(*classes, *seed)
@@ -59,7 +67,11 @@ func main() {
 		}
 		trainer.Step(imgs[i0:end])
 	}
-	fmt.Fprintf(os.Stderr, "jigsaw task accuracy: %.3f\n", trainer.Evaluate(imgs[:64]))
+	evalN := len(imgs)
+	if evalN > 64 {
+		evalN = 64
+	}
+	fmt.Fprintf(os.Stderr, "jigsaw task accuracy: %.3f\n", trainer.Evaluate(imgs[:evalN]))
 
 	fmt.Fprintf(os.Stderr, "transfer learning inference net (%d labels)...\n", len(pool))
 	inference := models.TinyAlex(*classes, *seed+4)
@@ -87,6 +99,9 @@ func main() {
 	}
 	fmt.Printf("wrote %s: version %d, threshold %.3f, %d bytes\n",
 		*out, bundle.Version, bundle.Threshold, bundle.Size())
+	if err := session.Close(os.Stderr); err != nil {
+		fatal(err)
+	}
 }
 
 func verify(path string, classes, perms int, seed uint64) {

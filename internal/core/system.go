@@ -34,6 +34,7 @@ import (
 	"insitu/internal/models"
 	"insitu/internal/netsim"
 	"insitu/internal/nn"
+	"insitu/internal/telemetry"
 	"insitu/internal/tensor"
 	"insitu/internal/train"
 	"insitu/internal/transfer"
@@ -103,6 +104,9 @@ type Config struct {
 	// bootstrap and nothing updates — the motivation experiment for
 	// incremental learning under environment drift.
 	FrozenModel bool
+	// Trace, when non-nil, receives core.stage / core.upload /
+	// core.deploy events for every Bootstrap and RunStage.
+	Trace *telemetry.Tracer
 }
 
 // DefaultConfig returns a validated configuration for the given variant.
@@ -273,7 +277,7 @@ func (s *System) Bootstrap(n int) StageReport {
 	cost := s.Cfg.Cost.PretrainCost(s.diagSpec, n, 0)
 	cost.Add(s.Cfg.Cost.UpdateCost(s.Cfg.FullScaleSpec, n, 0))
 	s.stage = 1
-	return StageReport{
+	rep := StageReport{
 		Stage:         0,
 		Kind:          s.Cfg.Kind,
 		Captured:      n,
@@ -288,6 +292,8 @@ func (s *System) Bootstrap(n int) StageReport {
 		DownlinkBytes: downlink,
 		ModelVersion:  s.version,
 	}
+	s.record(rep)
+	return rep
 }
 
 // SetSeverity adjusts the in-situ condition severity for subsequent
@@ -317,6 +323,7 @@ func (s *System) RunStage(n int) StageReport {
 			ModelVersion:     s.version,
 		}
 		s.stage++
+		s.record(rep)
 		return rep
 	}
 
@@ -408,6 +415,7 @@ func (s *System) RunStage(n int) StageReport {
 		ModelVersion:     s.version,
 	}
 	s.stage++
+	s.record(rep)
 	return rep
 }
 

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"insitu/internal/telemetry"
+)
+
+// Closed-loop instrumentation: cumulative counters over every System in
+// the process (stages run, images captured/uploaded/trained, bytes moved
+// in both directions, modeled retrain seconds) plus per-stage core.stage
+// / core.upload / core.deploy trace events via Config.Trace. These are
+// the live form of the paper's Table II / Fig. 25 series.
+type coreStats struct {
+	stages     *telemetry.Counter // core_stages_total (bootstrap included)
+	captured   *telemetry.Counter // core_captured_images_total
+	uploaded   *telemetry.Counter // core_uploaded_images_total
+	upBytes    *telemetry.Counter // core_uploaded_bytes_total
+	trained    *telemetry.Counter // core_trained_images_total
+	downBytes  *telemetry.Counter // core_deploy_bytes_total
+	deploys    *telemetry.Counter // core_deploys_total
+	retrainSec *telemetry.Gauge   // core_retrain_seconds_total (modeled, cumulative)
+	accuracy   *telemetry.Gauge   // core_node_accuracy (last evaluated)
+}
+
+var stats atomic.Pointer[coreStats]
+
+// EnableTelemetry registers the closed-loop counters with reg and turns
+// on their updates; pass nil to disable.
+func EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		stats.Store(nil)
+		return
+	}
+	stats.Store(&coreStats{
+		stages:     reg.Counter("core_stages_total"),
+		captured:   reg.Counter("core_captured_images_total"),
+		uploaded:   reg.Counter("core_uploaded_images_total"),
+		upBytes:    reg.Counter("core_uploaded_bytes_total"),
+		trained:    reg.Counter("core_trained_images_total"),
+		downBytes:  reg.Counter("core_deploy_bytes_total"),
+		deploys:    reg.Counter("core_deploys_total"),
+		retrainSec: reg.Gauge("core_retrain_seconds_total"),
+		accuracy:   reg.Gauge("core_node_accuracy"),
+	})
+}
+
+// record folds one finished stage into the counters and emits its trace
+// events. Called by Bootstrap and RunStage with the final StageReport.
+func (s *System) record(rep StageReport) {
+	if st := stats.Load(); st != nil {
+		st.stages.Add(1)
+		st.captured.Add(int64(rep.Captured))
+		st.uploaded.Add(int64(rep.Uploaded))
+		st.upBytes.Add(rep.UploadedBytes)
+		st.trained.Add(int64(rep.Trained))
+		st.downBytes.Add(rep.DownlinkBytes)
+		if rep.DownlinkBytes > 0 {
+			st.deploys.Add(1)
+		}
+		st.retrainSec.Add(rep.CloudCost.Seconds)
+		st.accuracy.Set(rep.NodeAccuracy)
+	}
+	tr := s.Cfg.Trace
+	if tr == nil {
+		return
+	}
+	if rep.Uploaded > 0 {
+		tr.Emit("core.upload", telemetry.Attrs{
+			"stage": rep.Stage, "images": rep.Uploaded, "bytes": rep.UploadedBytes,
+			"frac": rep.UploadFrac, "uplink_j": rep.UplinkJoules, "uplink_s": rep.UplinkSeconds,
+		})
+	}
+	if rep.DownlinkBytes > 0 {
+		tr.Emit("core.deploy", telemetry.Attrs{
+			"stage": rep.Stage, "bytes": rep.DownlinkBytes, "version": rep.ModelVersion,
+		})
+	}
+	tr.Emit("core.stage", telemetry.Attrs{
+		"stage": rep.Stage, "kind": rep.Kind.String(), "captured": rep.Captured,
+		"uploaded": rep.Uploaded, "trained": rep.Trained,
+		"retrain_s": rep.CloudCost.Seconds, "accuracy": rep.NodeAccuracy,
+	})
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"insitu/internal/telemetry"
+)
+
+// One closed-loop cycle (bootstrap + stage) with telemetry and tracing
+// on must produce a valid JSONL trace covering stage, upload and deploy
+// events, and move the loop counters by exactly the reported amounts.
+func TestClosedLoopTraceAndCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	EnableTelemetry(reg)
+	defer EnableTelemetry(nil)
+
+	var buf bytes.Buffer
+	tr := telemetry.NewTracer(&buf)
+
+	cfg := DefaultConfig(SystemInSituAI, 11)
+	cfg.Classes = 4
+	cfg.PermClasses = 6
+	cfg.Trace = tr
+	sys := NewSystem(cfg)
+	boot := sys.Bootstrap(48)
+	rep := sys.RunStage(32)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := telemetry.ValidateTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("trace invalid: %v\n%s", err, buf.String())
+	}
+	if stats.ByEvent["core.stage"] != 2 {
+		t.Errorf("core.stage events = %d, want 2 (bootstrap + stage)", stats.ByEvent["core.stage"])
+	}
+	if stats.ByEvent["core.upload"] != 2 {
+		t.Errorf("core.upload events = %d, want 2", stats.ByEvent["core.upload"])
+	}
+	if stats.ByEvent["core.deploy"] != 2 {
+		t.Errorf("core.deploy events = %d, want 2", stats.ByEvent["core.deploy"])
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["core_stages_total"]; got != 2 {
+		t.Errorf("core_stages_total = %d, want 2", got)
+	}
+	wantCaptured := int64(boot.Captured + rep.Captured)
+	if got := snap.Counters["core_captured_images_total"]; got != wantCaptured {
+		t.Errorf("core_captured_images_total = %d, want %d", got, wantCaptured)
+	}
+	wantUpBytes := boot.UploadedBytes + rep.UploadedBytes
+	if got := snap.Counters["core_uploaded_bytes_total"]; got != wantUpBytes {
+		t.Errorf("core_uploaded_bytes_total = %d, want %d", got, wantUpBytes)
+	}
+	if snap.Gauges["core_node_accuracy"] != rep.NodeAccuracy {
+		t.Errorf("core_node_accuracy = %g, want %g", snap.Gauges["core_node_accuracy"], rep.NodeAccuracy)
+	}
+	if snap.Gauges["core_retrain_seconds_total"] <= 0 {
+		t.Error("core_retrain_seconds_total did not accumulate")
+	}
+}
+
+// With no registry and no tracer attached, the loop must behave exactly
+// as before (nil-safe default).
+func TestClosedLoopTelemetryDisabled(t *testing.T) {
+	EnableTelemetry(nil)
+	cfg := DefaultConfig(SystemInSituDiagnosis, 13)
+	cfg.Classes = 4
+	cfg.PermClasses = 6
+	sys := NewSystem(cfg)
+	boot := sys.Bootstrap(48)
+	if boot.Uploaded != 48 {
+		t.Fatalf("bootstrap uploaded = %d", boot.Uploaded)
+	}
+}

@@ -80,28 +80,35 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// CSV renders the table as comma-separated values (naive quoting: commas
-// in cells are replaced with semicolons).
+// CSV renders the table as RFC 4180 comma-separated values: cells
+// containing commas, double quotes, or line breaks are wrapped in double
+// quotes, with embedded quotes doubled. All other cells pass through
+// verbatim.
 func (t *Table) CSV() string {
 	var b strings.Builder
-	clean := func(s string) string { return strings.ReplaceAll(s, ",", ";") }
-	for i, c := range t.Columns {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(clean(c))
-	}
-	b.WriteByte('\n')
-	for _, row := range t.Rows {
-		for i, cell := range row {
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
 			if i > 0 {
 				b.WriteByte(',')
 			}
-			b.WriteString(clean(cell))
+			b.WriteString(csvEscape(cell))
 		}
 		b.WriteByte('\n')
 	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
 	return b.String()
+}
+
+// csvEscape quotes a field per RFC 4180 when it contains a comma, a
+// double quote, or a CR/LF; otherwise it is returned unchanged.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\r\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 }
 
 // Series is one named line of a figure.

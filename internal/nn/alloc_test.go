@@ -3,6 +3,7 @@ package nn
 import (
 	"testing"
 
+	"insitu/internal/telemetry"
 	"insitu/internal/tensor"
 )
 
@@ -23,6 +24,36 @@ func TestDenseBackwardZeroAllocSteadyState(t *testing.T) {
 	l.Backward(dy) // warm dx buffer and pack pools
 	if allocs := testing.AllocsPerRun(50, func() { l.Backward(dy) }); allocs != 0 {
 		t.Errorf("Dense.Backward allocates %.1f objects per step in steady state, want 0", allocs)
+	}
+}
+
+// Turning telemetry on must not cost the kernels their zero-allocation
+// steady state: the counters are pre-allocated atomics and the per-layer
+// histogram lookup is a read-locked map probe.
+func TestDenseBackwardZeroAllocWithTelemetry(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocates on otherwise allocation-free paths")
+	}
+	reg := telemetry.NewRegistry()
+	tensor.EnableTelemetry(reg)
+	EnableTelemetry(reg)
+	defer func() {
+		tensor.EnableTelemetry(nil)
+		EnableTelemetry(nil)
+	}()
+	rng := tensor.NewRNG(22)
+	l := NewDense("fc", 64, 32, rng)
+	x := tensor.New(16, 64)
+	x.FillNormal(rng, 0, 1)
+	dy := tensor.New(16, 32)
+	dy.FillNormal(rng, 0, 1)
+	l.Forward(x, true)
+	l.Backward(dy) // warm dx buffer and pack pools
+	if allocs := testing.AllocsPerRun(50, func() { l.Backward(dy) }); allocs != 0 {
+		t.Errorf("Dense.Backward with telemetry enabled allocates %.1f objects per step, want 0", allocs)
+	}
+	if reg.Counter("tensor_workspace_gets_total").Value() == 0 {
+		t.Error("telemetry enabled but workspace counters did not move")
 	}
 }
 

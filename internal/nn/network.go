@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"insitu/internal/tensor"
 )
@@ -24,8 +25,17 @@ func NewNetwork(name string, layers ...Layer) *Network {
 // Forward runs the full stack. train enables dropout and activation
 // caching for a subsequent Backward.
 func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	s := nstats.Load()
+	if s == nil {
+		for _, l := range n.Layers {
+			x = l.Forward(x, train)
+		}
+		return x
+	}
 	for _, l := range n.Layers {
+		start := time.Now()
 		x = l.Forward(x, train)
+		s.observeForward(l.Name(), time.Since(start))
 	}
 	return x
 }
@@ -50,12 +60,28 @@ func (n *Network) ZeroGrad() {
 // loss and batch accuracy. Parameter gradients are left accumulated for
 // the optimizer.
 func (n *Network) TrainStep(x *tensor.Tensor, labels []int) (loss, acc float64) {
+	s := nstats.Load()
+	var stepStart time.Time
+	if s != nil {
+		stepStart = time.Now()
+	}
 	logits := n.Forward(x, true)
 	loss, grad := n.loss.LossAndGrad(logits, labels)
 	acc = Accuracy(logits, labels)
-	for i := len(n.Layers) - 1; i >= 0; i-- {
-		grad = n.Layers[i].Backward(grad)
+	if s == nil {
+		for i := len(n.Layers) - 1; i >= 0; i-- {
+			grad = n.Layers[i].Backward(grad)
+		}
+		return loss, acc
 	}
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		start := time.Now()
+		grad = n.Layers[i].Backward(grad)
+		s.observeBackward(n.Layers[i].Name(), time.Since(start))
+	}
+	s.trainSteps.Add(1)
+	s.stepLoss.Set(loss)
+	s.stepTime.Observe(float64(time.Since(stepStart)) / float64(time.Microsecond))
 	return loss, acc
 }
 
@@ -66,6 +92,7 @@ func (n *Network) Predict(x *tensor.Tensor) []int {
 
 // Evaluate computes accuracy over a labeled batch without training.
 func (n *Network) Evaluate(x *tensor.Tensor, labels []int) float64 {
+	nstats.Load().evalStep()
 	return Accuracy(n.Forward(x, false), labels)
 }
 

@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"insitu/internal/telemetry"
+)
+
+// Layer-level instrumentation: per-layer forward/backward latency
+// histograms plus train/eval step counters. As in internal/tensor, the
+// state is swapped in atomically by EnableTelemetry and every hot-path
+// site is a nil-check when disabled. Histogram handles are cached per
+// layer name behind an RWMutex so the steady-state lookup is a read-lock
+// and a map probe — no allocation, no name formatting.
+type nnStats struct {
+	reg        *telemetry.Registry
+	trainSteps *telemetry.Counter   // nn_train_steps_total
+	evalSteps  *telemetry.Counter   // nn_eval_batches_total
+	stepLoss   *telemetry.Gauge     // nn_last_train_loss
+	stepTime   *telemetry.Histogram // nn_train_step_us
+
+	mu       sync.RWMutex
+	forward  map[string]*telemetry.Histogram // nn_forward_us_<layer>
+	backward map[string]*telemetry.Histogram // nn_backward_us_<layer>
+}
+
+var nstats atomic.Pointer[nnStats]
+
+// layerBuckets spans 1 µs – ~4.3 s in ×4 steps: conv layers on small
+// batches sit in the hundreds of µs, full training steps in the ms–s
+// range.
+func layerBuckets() []float64 { return telemetry.ExpBuckets(1, 4, 12) }
+
+// EnableTelemetry registers per-layer timing histograms and step
+// counters with reg and turns on their updates; pass nil to disable.
+func EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		nstats.Store(nil)
+		return
+	}
+	nstats.Store(&nnStats{
+		reg:        reg,
+		trainSteps: reg.Counter("nn_train_steps_total"),
+		evalSteps:  reg.Counter("nn_eval_batches_total"),
+		stepLoss:   reg.Gauge("nn_last_train_loss"),
+		stepTime:   reg.Histogram("nn_train_step_us", layerBuckets()),
+		forward:    make(map[string]*telemetry.Histogram),
+		backward:   make(map[string]*telemetry.Histogram),
+	})
+}
+
+func (s *nnStats) layerHist(cache map[string]*telemetry.Histogram, prefix, layer string) *telemetry.Histogram {
+	s.mu.RLock()
+	h := cache[layer]
+	s.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h = cache[layer]; h == nil {
+		h = s.reg.Histogram(prefix+layer, layerBuckets())
+		cache[layer] = h
+	}
+	return h
+}
+
+// evalStep counts one evaluation batch; safe on the nil (disabled) state.
+func (s *nnStats) evalStep() {
+	if s == nil {
+		return
+	}
+	s.evalSteps.Add(1)
+}
+
+// observeLayer times are recorded in microseconds.
+func (s *nnStats) observeForward(layer string, d time.Duration) {
+	s.layerHist(s.forward, "nn_forward_us_", layer).Observe(float64(d) / float64(time.Microsecond))
+}
+
+func (s *nnStats) observeBackward(layer string, d time.Duration) {
+	s.layerHist(s.backward, "nn_backward_us_", layer).Observe(float64(d) / float64(time.Microsecond))
+}

@@ -15,6 +15,7 @@ import (
 	"insitu/internal/gpusim"
 	"insitu/internal/models"
 	"insitu/internal/planner"
+	"insitu/internal/telemetry"
 )
 
 // Config parameterizes one simulated day/night cycle.
@@ -33,6 +34,9 @@ type Config struct {
 	// DaySeconds and NightSeconds bound the two windows.
 	DaySeconds   float64
 	NightSeconds float64
+	// Trace, when non-nil, receives node.dispatch / node.day / node.night
+	// events; the "t" attribute is simulated seconds into the cycle.
+	Trace *telemetry.Tracer
 }
 
 // Report summarizes the simulated cycle.
@@ -118,6 +122,9 @@ func Run(cfg Config) Report {
 
 	frames := int(cfg.FrameRate * cfg.DaySeconds)
 	rep.Frames = frames
+	if s := stats.Load(); s != nil {
+		s.frames.Add(int64(frames))
+	}
 	interArrival := 1 / cfg.FrameRate
 
 	// Day: deadline-aware batching. A batch dispatches when it is full,
@@ -142,6 +149,7 @@ func Run(cfg Config) Report {
 		gpuFree = done
 		rep.Batches++
 		rep.InferenceBusy += lat
+		missesBefore := rep.DeadlineMisses
 		for _, arr := range queue {
 			l := done - arr
 			totalLat += l
@@ -152,6 +160,15 @@ func Run(cfg Config) Report {
 				rep.DeadlineMisses++
 			}
 		}
+		if s := stats.Load(); s != nil {
+			s.batches.Add(1)
+			s.misses.Add(int64(rep.DeadlineMisses - missesBefore))
+			s.batchFrames.Observe(float64(n))
+		}
+		cfg.Trace.Emit("node.dispatch", telemetry.Attrs{
+			"t": start, "frames": n, "latency_s": lat,
+			"misses": rep.DeadlineMisses - missesBefore,
+		})
 		queue = queue[:0]
 	}
 	batchLat := cfg.Sim.NetTime(cfg.Inference, batch).Latency()
@@ -183,6 +200,11 @@ func Run(cfg Config) Report {
 	if frames > 0 {
 		rep.AvgLatency = totalLat / float64(frames)
 	}
+	cfg.Trace.Emit("node.day", telemetry.Attrs{
+		"frames": frames, "batches": rep.Batches, "misses": rep.DeadlineMisses,
+		"avg_latency_s": rep.AvgLatency, "max_latency_s": rep.MaxLatency,
+		"busy_s": rep.InferenceBusy, "batch": batch,
+	})
 
 	// Night: drain the diagnosis backlog (every day frame awaits
 	// diagnosis) within the night window.
@@ -203,6 +225,14 @@ func Run(cfg Config) Report {
 	}
 	rep.DiagnosisBusy = nightUsed
 	rep.Backlog = backlog
+	if s := stats.Load(); s != nil {
+		s.diagnosed.Add(int64(rep.DiagnosedFrames))
+		s.backlog.Set(float64(backlog))
+	}
+	cfg.Trace.Emit("node.night", telemetry.Attrs{
+		"diagnosed": rep.DiagnosedFrames, "backlog": backlog,
+		"busy_s": nightUsed, "batch": diagBatch,
+	})
 
 	// Energy: busy at active power, the rest of the cycle at idle power.
 	busy := rep.InferenceBusy + rep.DiagnosisBusy

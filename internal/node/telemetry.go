@@ -1,0 +1,40 @@
+package node
+
+import (
+	"sync/atomic"
+
+	"insitu/internal/telemetry"
+)
+
+// Node-runtime instrumentation: counters for the day/night cycle
+// (frames served, batches dispatched, deadline misses, diagnosis
+// backlog) plus per-dispatch trace events via Config.Trace. Counters
+// accumulate across Run calls; the trace carries the within-cycle
+// timeline in simulated seconds.
+type nodeStats struct {
+	frames      *telemetry.Counter // node_frames_total: frames enqueued
+	batches     *telemetry.Counter // node_batches_total: inference dispatches
+	misses      *telemetry.Counter // node_deadline_miss_total
+	diagnosed   *telemetry.Counter // node_diagnosed_frames_total (night)
+	backlog     *telemetry.Gauge   // node_backlog: frames left after the night
+	batchFrames *telemetry.Histogram
+}
+
+var stats atomic.Pointer[nodeStats]
+
+// EnableTelemetry registers the node runtime counters with reg and turns
+// on their updates; pass nil to disable.
+func EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		stats.Store(nil)
+		return
+	}
+	stats.Store(&nodeStats{
+		frames:      reg.Counter("node_frames_total"),
+		batches:     reg.Counter("node_batches_total"),
+		misses:      reg.Counter("node_deadline_miss_total"),
+		diagnosed:   reg.Counter("node_diagnosed_frames_total"),
+		backlog:     reg.Gauge("node_backlog"),
+		batchFrames: reg.Histogram("node_batch_frames", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+	})
+}

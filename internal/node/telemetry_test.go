@@ -1,0 +1,64 @@
+package node
+
+import (
+	"bytes"
+	"testing"
+
+	"insitu/internal/telemetry"
+)
+
+// A traced cycle emits per-dispatch events plus day/night summaries, all
+// parseable JSONL, and the counters agree with the report.
+func TestRunTraceAndCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	EnableTelemetry(reg)
+	defer EnableTelemetry(nil)
+
+	var buf bytes.Buffer
+	cfg := baseConfig()
+	cfg.Trace = telemetry.NewTracer(&buf)
+	rep := Run(cfg)
+	if err := cfg.Trace.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := telemetry.ValidateTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	if stats.ByEvent["node.dispatch"] != rep.Batches {
+		t.Errorf("node.dispatch events = %d, want %d (one per batch)", stats.ByEvent["node.dispatch"], rep.Batches)
+	}
+	if stats.ByEvent["node.day"] != 1 || stats.ByEvent["node.night"] != 1 {
+		t.Errorf("summary events = %+v, want one node.day and one node.night", stats.ByEvent)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["node_frames_total"]; got != int64(rep.Frames) {
+		t.Errorf("node_frames_total = %d, want %d", got, rep.Frames)
+	}
+	if got := snap.Counters["node_batches_total"]; got != int64(rep.Batches) {
+		t.Errorf("node_batches_total = %d, want %d", got, rep.Batches)
+	}
+	if got := snap.Counters["node_deadline_miss_total"]; got != int64(rep.DeadlineMisses) {
+		t.Errorf("node_deadline_miss_total = %d, want %d", got, rep.DeadlineMisses)
+	}
+	if got := snap.Counters["node_diagnosed_frames_total"]; got != int64(rep.DiagnosedFrames) {
+		t.Errorf("node_diagnosed_frames_total = %d, want %d", got, rep.DiagnosedFrames)
+	}
+	if got := snap.Gauges["node_backlog"]; got != float64(rep.Backlog) {
+		t.Errorf("node_backlog = %g, want %d", got, rep.Backlog)
+	}
+	if got := snap.Histograms["node_batch_frames"].Count; got != int64(rep.Batches) {
+		t.Errorf("node_batch_frames count = %d, want %d", got, rep.Batches)
+	}
+}
+
+// An untraced run must not emit or panic (nil tracer is the default).
+func TestRunNilTraceUnchanged(t *testing.T) {
+	EnableTelemetry(nil)
+	rep := Run(baseConfig())
+	if rep.Frames != 3600 {
+		t.Fatalf("frames = %d", rep.Frames)
+	}
+}

@@ -1,0 +1,115 @@
+// Package obs wires the telemetry subsystem into the CLIs: one call
+// builds a registry, enables instrumentation in every instrumented
+// package (tensor kernels, nn layers, node runtime, planner, closed
+// loop), opens the JSONL trace sink, and optionally serves
+// pprof/expvar/metrics over HTTP. The three commands (insitu-bench,
+// insitu-node, insitu-train) share the same -telemetry / -trace-out /
+// -pprof-addr flags through this package.
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"insitu/internal/core"
+	"insitu/internal/nn"
+	"insitu/internal/node"
+	"insitu/internal/planner"
+	"insitu/internal/telemetry"
+	"insitu/internal/tensor"
+)
+
+// Flags holds the shared observability flag values; register them with
+// AddFlags before flag.Parse.
+type Flags struct {
+	Telemetry bool
+	TraceOut  string
+	PprofAddr string
+}
+
+// AddFlags registers -telemetry, -trace-out and -pprof-addr on fs.
+func (f *Flags) AddFlags(fs *flag.FlagSet) {
+	fs.BoolVar(&f.Telemetry, "telemetry", false,
+		"enable counters/histograms and print a Prometheus-style dump to stderr on exit")
+	fs.StringVar(&f.TraceOut, "trace-out", "",
+		"write JSONL trace events (stages, uploads, plans, dispatches) to this file; implies -telemetry")
+	fs.StringVar(&f.PprofAddr, "pprof-addr", "",
+		"serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address (e.g. :6060); implies -telemetry")
+}
+
+// Session is the live observability state for one command run.
+type Session struct {
+	Registry *telemetry.Registry
+	Tracer   *telemetry.Tracer
+
+	traceFile *os.File
+	dump      bool
+}
+
+// Enabled reports whether any observability feature was requested.
+func (f Flags) Enabled() bool {
+	return f.Telemetry || f.TraceOut != "" || f.PprofAddr != ""
+}
+
+// Start applies the flags: it builds the registry, turns on
+// instrumentation everywhere, opens the trace sink and the debug server.
+// The returned Session is non-nil even when everything is disabled (all
+// fields nil-safe); call Close before exit to flush the trace and emit
+// the final dump.
+func Start(f Flags) (*Session, error) {
+	s := &Session{dump: f.Telemetry}
+	if !f.Enabled() {
+		return s, nil
+	}
+	s.Registry = telemetry.NewRegistry()
+	tensor.EnableTelemetry(s.Registry)
+	nn.EnableTelemetry(s.Registry)
+	node.EnableTelemetry(s.Registry)
+	planner.EnableTelemetry(s.Registry)
+	core.EnableTelemetry(s.Registry)
+
+	if f.TraceOut != "" {
+		file, err := os.Create(f.TraceOut)
+		if err != nil {
+			return nil, fmt.Errorf("obs: creating trace file: %w", err)
+		}
+		s.traceFile = file
+		s.Tracer = telemetry.NewTracer(file)
+		planner.SetTracer(s.Tracer)
+	}
+	if f.PprofAddr != "" {
+		srv, err := telemetry.ServeDebug(f.PprofAddr, s.Registry)
+		if err != nil {
+			return nil, fmt.Errorf("obs: starting debug server: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "obs: serving pprof/metrics on http://%s\n", srv.Addr)
+	}
+	return s, nil
+}
+
+// Close flushes the trace file and, when -telemetry was set, writes the
+// Prometheus-style dump to w (the commands pass os.Stderr so the dump
+// stays out of table/CSV output).
+func (s *Session) Close(w io.Writer) error {
+	planner.SetTracer(nil)
+	var firstErr error
+	if s.Tracer != nil {
+		if err := s.Tracer.Flush(); err != nil {
+			firstErr = fmt.Errorf("obs: flushing trace: %w", err)
+		}
+	}
+	if s.traceFile != nil {
+		if err := s.traceFile.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("obs: closing trace: %w", err)
+		}
+	}
+	if s.dump && s.Registry != nil {
+		fmt.Fprintln(w, "== telemetry ==")
+		if err := s.Registry.WriteProm(w); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"insitu/internal/core"
+	"insitu/internal/nn"
+	"insitu/internal/node"
+	"insitu/internal/planner"
+	"insitu/internal/telemetry"
+	"insitu/internal/tensor"
+)
+
+// disableAll turns package instrumentation back off after a test.
+func disableAll() {
+	tensor.EnableTelemetry(nil)
+	nn.EnableTelemetry(nil)
+	node.EnableTelemetry(nil)
+	planner.EnableTelemetry(nil)
+	core.EnableTelemetry(nil)
+}
+
+func TestDisabledSessionIsInert(t *testing.T) {
+	s, err := Start(Flags{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Registry != nil || s.Tracer != nil {
+		t.Fatalf("disabled session should have nil registry/tracer: %+v", s)
+	}
+	var sb strings.Builder
+	if err := s.Close(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("disabled session wrote output: %q", sb.String())
+	}
+}
+
+func TestStartEnablesInstrumentationAndTrace(t *testing.T) {
+	t.Cleanup(disableAll)
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	s, err := Start(Flags{Telemetry: true, TraceOut: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Registry == nil || s.Tracer == nil {
+		t.Fatal("enabled session missing registry or tracer")
+	}
+
+	// Instrumented packages are live: a matmul moves the kernel counters.
+	a := tensor.New(8, 8)
+	b := tensor.New(8, 8)
+	tensor.MatMul(a, b)
+	snap := s.Registry.Snapshot()
+	if snap.Counters["tensor_gemm_small_calls_total"] == 0 &&
+		snap.Counters["tensor_gemm_calls_total"] == 0 {
+		t.Fatalf("gemm counters did not move: %v", snap.Counters)
+	}
+
+	s.Tracer.Emit("test.event", telemetry.Attrs{"k": 1})
+	var sb strings.Builder
+	if err := s.Close(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "tensor_gemm") {
+		t.Fatalf("telemetry dump missing counters:\n%s", sb.String())
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	stats, err := telemetry.ValidateTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ByEvent["test.event"] != 1 {
+		t.Fatalf("trace events = %v", stats.ByEvent)
+	}
+}
+
+func TestAddFlagsRegistersAll(t *testing.T) {
+	var f Flags
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f.AddFlags(fs)
+	if err := fs.Parse([]string{"-telemetry", "-trace-out", "t.jsonl", "-pprof-addr", ":0"}); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Telemetry || f.TraceOut != "t.jsonl" || f.PprofAddr != ":0" {
+		t.Fatalf("flags not parsed: %+v", f)
+	}
+	if !f.Enabled() {
+		t.Fatal("Enabled() = false")
+	}
+}

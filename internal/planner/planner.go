@@ -7,11 +7,49 @@
 package planner
 
 import (
+	"sync/atomic"
+
 	"insitu/internal/device"
 	"insitu/internal/fpgasim"
 	"insitu/internal/gpusim"
 	"insitu/internal/models"
+	"insitu/internal/telemetry"
 )
+
+// Planner instrumentation: every plan is counted, and — when a tracer is
+// attached — emitted as a planner.plan event carrying the analytical
+// pick next to the brute-force oracle's, plus the latency-constraint
+// slack. That is exactly the Fig. 21 comparison, but live.
+type plannerStats struct {
+	plans      *telemetry.Counter // planner_plans_total
+	infeasible *telemetry.Counter // planner_infeasible_total: batch 1 misses the deadline
+	oracleGap  *telemetry.Counter // planner_oracle_gap_total: plans where oracle ≠ chosen
+	slack      *telemetry.Gauge   // planner_last_slack_s
+}
+
+var (
+	stats  atomic.Pointer[plannerStats]
+	tracer atomic.Pointer[telemetry.Tracer]
+)
+
+// EnableTelemetry registers the planner counters with reg and turns on
+// their updates; pass nil to disable.
+func EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		stats.Store(nil)
+		return
+	}
+	stats.Store(&plannerStats{
+		plans:      reg.Counter("planner_plans_total"),
+		infeasible: reg.Counter("planner_infeasible_total"),
+		oracleGap:  reg.Counter("planner_oracle_gap_total"),
+		slack:      reg.Gauge("planner_last_slack_s"),
+	})
+}
+
+// SetTracer attaches (or, with nil, detaches) the tracer that receives
+// planner.plan events.
+func SetTracer(t *telemetry.Tracer) { tracer.Store(t) }
 
 // SingleRunningPlan is the configuration for Single-running mode: both
 // tasks on the GPU at different time slots.
@@ -38,6 +76,31 @@ func PlanSingleRunning(sim *gpusim.Sim, inference, diagnosis models.NetSpec, lat
 		p.InferenceLatency = sim.NetTime(inference, p.InferenceBatch).Latency()
 	}
 	p.DiagnosisBatch = sim.MaxBatchForMemory(diagnosis, maxBatch)
+
+	slack := latencyReq - p.InferenceLatency
+	s := stats.Load()
+	tr := tracer.Load()
+	if s == nil && tr == nil {
+		return p
+	}
+	// The oracle scan costs one extra pass over the batch range; only pay
+	// for it when someone is watching.
+	oracle, _ := BruteForceBest(sim, inference, latencyReq, maxBatch)
+	if s != nil {
+		s.plans.Add(1)
+		if !p.InferenceFeasible {
+			s.infeasible.Add(1)
+		}
+		if oracle != p.InferenceBatch {
+			s.oracleGap.Add(1)
+		}
+		s.slack.Set(slack)
+	}
+	tr.Emit("planner.plan", telemetry.Attrs{
+		"mode": "single-running", "chosen": p.InferenceBatch, "oracle": oracle,
+		"feasible": p.InferenceFeasible, "latency_s": p.InferenceLatency,
+		"slack_s": slack, "diagnosis_batch": p.DiagnosisBatch,
+	})
 	return p
 }
 
@@ -96,10 +159,18 @@ func PlanCoRunning(spec device.FPGASpec, w fpgasim.CoRunWorkload, sharedConvs in
 	if err != nil {
 		return CoRunningPlan{}, err
 	}
-	return CoRunningPlan{
+	plan := CoRunningPlan{
 		Arch:   fpgasim.ArchWSSNWS,
 		Result: p.MaxThroughputUnderLatency(latencyReq, 256),
-	}, nil
+	}
+	if s := stats.Load(); s != nil {
+		s.plans.Add(1)
+	}
+	tracer.Load().Emit("planner.plan", telemetry.Attrs{
+		"mode": "co-running", "chosen": plan.Result.Bsize, "feasible": plan.Result.Feasible,
+		"latency_s": plan.Result.Latency, "slack_s": latencyReq - plan.Result.Latency,
+	})
+	return plan, nil
 }
 
 // ModeRecommendation captures §IV-A2's platform decision.

@@ -1,0 +1,82 @@
+package planner
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"insitu/internal/device"
+	"insitu/internal/gpusim"
+	"insitu/internal/models"
+	"insitu/internal/telemetry"
+)
+
+// Every plan is counted, and with a tracer attached the planner.plan
+// event carries the chosen batch next to the brute-force oracle's and
+// the latency slack — the live form of the Fig. 21 comparison.
+func TestPlanSingleRunningTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	EnableTelemetry(reg)
+	var buf bytes.Buffer
+	tr := telemetry.NewTracer(&buf)
+	SetTracer(tr)
+	defer func() {
+		EnableTelemetry(nil)
+		SetTracer(nil)
+	}()
+
+	sim := gpusim.New(device.TX1())
+	inf := models.AlexNet()
+	p := PlanSingleRunning(sim, inf, models.DiagnosisSpec(inf, 100), 0.2, 64)
+	if !p.InferenceFeasible {
+		t.Fatal("expected a feasible plan at 200 ms")
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["planner_plans_total"]; got != 1 {
+		t.Errorf("planner_plans_total = %d, want 1", got)
+	}
+	slack := snap.Gauges["planner_last_slack_s"]
+	if slack <= 0 || slack > 0.2 {
+		t.Errorf("planner_last_slack_s = %g, want in (0, 0.2]", slack)
+	}
+
+	var rec telemetry.Record
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &rec); err != nil {
+		t.Fatalf("planner.plan event not valid JSONL: %v (%q)", err, buf.String())
+	}
+	if rec.Event != "planner.plan" {
+		t.Fatalf("event = %q", rec.Event)
+	}
+	if rec.Attrs["chosen"] != float64(p.InferenceBatch) {
+		t.Errorf("chosen = %v, want %d", rec.Attrs["chosen"], p.InferenceBatch)
+	}
+	oracle, _ := BruteForceBest(sim, inf, 0.2, 64)
+	if rec.Attrs["oracle"] != float64(oracle) {
+		t.Errorf("oracle = %v, want %d", rec.Attrs["oracle"], oracle)
+	}
+	if _, ok := rec.Attrs["slack_s"]; !ok {
+		t.Error("event missing slack_s")
+	}
+}
+
+// With telemetry disabled the planner takes no oracle scan and emits
+// nothing — the pick itself must be identical either way.
+func TestPlanUnchangedWhenDisabled(t *testing.T) {
+	EnableTelemetry(nil)
+	SetTracer(nil)
+	sim := gpusim.New(device.TX1())
+	inf := models.AlexNet()
+	a := PlanSingleRunning(sim, inf, models.DiagnosisSpec(inf, 100), 0.2, 64)
+
+	reg := telemetry.NewRegistry()
+	EnableTelemetry(reg)
+	defer EnableTelemetry(nil)
+	b := PlanSingleRunning(sim, inf, models.DiagnosisSpec(inf, 100), 0.2, 64)
+	if a != b {
+		t.Errorf("plan changed under telemetry: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+var expvarOnce sync.Once
+
+// PublishExpvar exposes the registry as the expvar variable
+// "insitu_telemetry" (a JSON snapshot re-evaluated per read), alongside
+// the standard memstats/cmdline vars. Safe to call more than once; only
+// the first registry wins (expvar names are process-global).
+func PublishExpvar(reg *Registry) {
+	expvarOnce.Do(func() {
+		expvar.Publish("insitu_telemetry", expvar.Func(func() any {
+			return reg.Snapshot()
+		}))
+	})
+}
+
+// ServeDebug starts an HTTP server on addr exposing:
+//
+//	/metrics          Prometheus text dump of reg
+//	/metrics.json     JSON snapshot of reg
+//	/debug/vars       expvar (memstats + insitu_telemetry)
+//	/debug/pprof/...  the full net/http/pprof suite
+//
+// It listens before returning (so callers can report the bound address,
+// useful with ":0") and serves in a background goroutine; shut it down
+// via the returned server. A dedicated mux keeps the handlers off
+// http.DefaultServeMux.
+func ServeDebug(addr string, reg *Registry) (*http.Server, error) {
+	PublishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.WriteProm(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, nil
+}

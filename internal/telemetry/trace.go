@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Attrs is the free-form payload of one trace record.
+type Attrs map[string]any
+
+// Record is one parsed JSONL trace line. Seq is a per-tracer sequence
+// number assigned under the writer lock, so it totals-orders records even
+// when Ts (nanoseconds since the tracer started) ties at clock
+// resolution.
+type Record struct {
+	Seq   int64  `json:"seq"`
+	Ts    int64  `json:"ts_ns"`
+	Event string `json:"event"`
+	Attrs Attrs  `json:"attrs,omitempty"`
+}
+
+// Tracer emits JSONL trace records — one JSON object per line — to an
+// io.Writer. It serializes writes internally, so one tracer may be
+// shared across goroutines; every method is a no-op on a nil receiver,
+// which is how instrumented packages stay silent when tracing is off.
+//
+// Tracing is for decision-granularity events (closed-loop stages,
+// uploads, planner picks, node dispatches), not per-FLOP kernel work;
+// emitting a record allocates.
+type Tracer struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	enc   *json.Encoder
+	start time.Time
+	seq   int64
+	err   error
+}
+
+// NewTracer returns a tracer writing to w. Call Flush (or Close on the
+// underlying sink) when done; records are buffered.
+func NewTracer(w io.Writer) *Tracer {
+	bw := bufio.NewWriter(w)
+	return &Tracer{w: bw, enc: json.NewEncoder(bw), start: time.Now()}
+}
+
+// Emit writes one event record. attrs may be nil.
+func (t *Tracer) Emit(event string, attrs Attrs) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.seq++
+	rec := Record{
+		Seq:   t.seq,
+		Ts:    time.Since(t.start).Nanoseconds(),
+		Event: event,
+		Attrs: attrs,
+	}
+	t.err = t.enc.Encode(&rec) // Encode appends the newline: one record per line
+}
+
+// Span measures one timed region; obtain it from StartSpan and finish it
+// with End, which emits a single record carrying the duration.
+type Span struct {
+	t     *Tracer
+	event string
+	start time.Time
+}
+
+// StartSpan starts a timed region. The record is emitted by Span.End.
+func (t *Tracer) StartSpan(event string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, event: event, start: time.Now()}
+}
+
+// End emits the span's record with a "dur_ns" attribute merged into
+// attrs (attrs may be nil; it is modified when non-nil).
+func (s Span) End(attrs Attrs) {
+	if s.t == nil {
+		return
+	}
+	if attrs == nil {
+		attrs = make(Attrs, 1)
+	}
+	attrs["dur_ns"] = time.Since(s.start).Nanoseconds()
+	s.t.Emit(s.event, attrs)
+}
+
+// Flush drains buffered records to the underlying writer and returns the
+// first error seen by any Emit or flush.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.w.Flush(); t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// TraceStats summarizes a validated JSONL trace.
+type TraceStats struct {
+	Records int
+	// ByEvent counts records per event name.
+	ByEvent map[string]int
+}
+
+// ValidateTrace reads a JSONL trace stream and checks that every line is
+// a well-formed record, sequence numbers increase by exactly one from 1,
+// and timestamps are non-negative and non-decreasing. It returns
+// per-event counts so callers (tests, make trace-smoke) can assert
+// coverage.
+func ValidateTrace(r io.Reader) (TraceStats, error) {
+	stats := TraceStats{ByEvent: make(map[string]int)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var lastSeq, lastTs int64
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return stats, fmt.Errorf("trace line %d: invalid JSON: %w", line, err)
+		}
+		if rec.Event == "" {
+			return stats, fmt.Errorf("trace line %d: missing event name", line)
+		}
+		if rec.Seq != lastSeq+1 {
+			return stats, fmt.Errorf("trace line %d: seq %d after %d (want +1)", line, rec.Seq, lastSeq)
+		}
+		if rec.Ts < lastTs {
+			return stats, fmt.Errorf("trace line %d: timestamp %d ns regressed below %d ns", line, rec.Ts, lastTs)
+		}
+		lastSeq, lastTs = rec.Seq, rec.Ts
+		stats.Records++
+		stats.ByEvent[rec.Event]++
+	}
+	if err := sc.Err(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}

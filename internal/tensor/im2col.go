@@ -44,6 +44,9 @@ func Im2Col(input *Tensor, g Conv2DGeom, dst *Tensor) {
 	if dst.Rank() != 2 || dst.shape[0] != rows || dst.shape[1] != cols {
 		panic("tensor: Im2Col dst shape mismatch")
 	}
+	if s := kstats.Load(); s != nil {
+		s.im2colOps.Add(1)
+	}
 	in := input.Data
 	out := dst.Data
 	k := g.KernelSize

@@ -76,8 +76,16 @@ func gemm(c, a, b []float32, transA, transB bool, m, n, k int, accumulate bool) 
 	}
 	// Skinny or tiny problems: blocking buys nothing, run plain loops.
 	if m < mr || n < nr || k < 16 || m*n*k <= smallGemmFlops {
+		if s := kstats.Load(); s != nil {
+			s.gemmSmall.Add(1)
+			s.gemmFlops.Add(2 * int64(m) * int64(n) * int64(k))
+		}
 		gemmSmall(c, a, b, transA, transB, m, n, k, lda, ldb, accumulate)
 		return
+	}
+	if s := kstats.Load(); s != nil {
+		s.gemmCalls.Add(1)
+		s.gemmFlops.Add(2 * int64(m) * int64(n) * int64(k))
 	}
 	job := gemmJob{
 		c: c, a: a, b: b,
@@ -89,7 +97,13 @@ func gemm(c, a, b []float32, transA, transB bool, m, n, k int, accumulate bool) 
 	}
 	tiles := ((m + tileM - 1) / tileM) * job.tilesN
 	if m*n*k >= parallelGemmFlops && tiles >= 2 && runGemmParallel(getPool(), &job, tiles) {
+		if s := kstats.Load(); s != nil {
+			s.tilesPar.Add(int64(tiles))
+		}
 		return
+	}
+	if s := kstats.Load(); s != nil {
+		s.tilesInl.Add(int64(tiles))
 	}
 	for t := 0; t < tiles; t++ {
 		gemmTile(&job, t)
@@ -130,6 +144,10 @@ func gemmTile(g *gemmJob, tile int) {
 		}
 		packB(bbuf, g.b, g.ldb, g.transB, p0, kb, j0, nb)
 		packA(abuf, g.a, g.lda, g.transA, i0, mb, p0, kb)
+		if s := kstats.Load(); s != nil {
+			// Padded panel footprint actually written by the packers.
+			s.packBytes.Add(4 * int64(kb) * int64(mPanels*mr+nPanels*nr))
+		}
 		for jp := 0; jp < nPanels; jp++ {
 			bpan := bbuf[jp*kb*nr:]
 			jj := j0 + jp*nr

@@ -152,11 +152,17 @@ func parallelChunksOn(p *workerPool, n int, work func(chunk, i0, i1 int)) int {
 		chunks = n
 	}
 	if chunks <= 1 || !p.mu.TryLock() {
+		if s := kstats.Load(); s != nil {
+			s.chunksInl.Add(1)
+		}
 		work(0, 0, n)
 		return 1
 	}
 	size := (n + chunks - 1) / chunks
 	chunks = (n + size - 1) / size
+	if s := kstats.Load(); s != nil {
+		s.chunksPar.Add(int64(chunks))
+	}
 	j := &p.job
 	j.chunkWork = work
 	j.chunkSize = size

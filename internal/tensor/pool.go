@@ -21,11 +21,18 @@ type Workspace struct {
 // back to PutSlice when done; the pointer indirection is what keeps the
 // round-trip through sync.Pool allocation-free.
 func (w *Workspace) GetSlice(n int) *[]float32 {
+	s := kstats.Load()
+	if s != nil {
+		s.wsGets.Add(1)
+	}
 	p, _ := w.slices.Get().(*[]float32)
 	if p == nil {
 		p = new([]float32)
 	}
 	if cap(*p) < n {
+		if s != nil {
+			s.wsMisses.Add(1)
+		}
 		*p = make([]float32, n)
 	}
 	*p = (*p)[:n]
@@ -33,7 +40,12 @@ func (w *Workspace) GetSlice(n int) *[]float32 {
 }
 
 // PutSlice returns a slice obtained from GetSlice to the pool.
-func (w *Workspace) PutSlice(p *[]float32) { w.slices.Put(p) }
+func (w *Workspace) PutSlice(p *[]float32) {
+	if s := kstats.Load(); s != nil {
+		s.wsPuts.Add(1)
+	}
+	w.slices.Put(p)
+}
 
 // Get returns a scratch tensor of the given shape. When the pooled tensor
 // already has this shape (the steady state for a layer processing
@@ -54,12 +66,19 @@ func (w *Workspace) Get(shape ...int) *Tensor {
 		}
 		n *= d
 	}
+	s := kstats.Load()
+	if s != nil {
+		s.wsGets.Add(1)
+	}
 	t, _ := w.tensors.Get().(*Tensor)
 	if t == nil {
 		t = &Tensor{}
 	}
 	if !shapeEqual(t.shape, shape) {
 		if cap(t.Data) < n {
+			if s != nil {
+				s.wsMisses.Add(1)
+			}
 			t.Data = make([]float32, n)
 		}
 		t.Data = t.Data[:n]
@@ -83,7 +102,12 @@ func (w *Workspace) Get(shape ...int) *Tensor {
 
 // Put returns a tensor obtained from Get to the pool. The caller must not
 // use t (or views of its storage) afterwards.
-func (w *Workspace) Put(t *Tensor) { w.tensors.Put(t) }
+func (w *Workspace) Put(t *Tensor) {
+	if s := kstats.Load(); s != nil {
+		s.wsPuts.Add(1)
+	}
+	w.tensors.Put(t)
+}
 
 func shapeEqual(a, b []int) bool {
 	if len(a) != len(b) {

@@ -11,7 +11,9 @@ func TestWorkspaceGetShapesAndReuse(t *testing.T) {
 	a.Fill(3)
 	ws.Put(a)
 	b := ws.Get(4, 5)
-	if b != a {
+	// Under the race detector sync.Pool drops Puts at random to widen
+	// interleavings, so buffer identity is only guaranteed without it.
+	if b != a && !raceEnabled {
 		t.Errorf("same-shape Get after Put returned a different tensor")
 	}
 	ws.Put(b)
@@ -20,7 +22,7 @@ func TestWorkspaceGetShapesAndReuse(t *testing.T) {
 	if c.Dim(0) != 2 || c.Dim(1) != 10 || c.Size() != 20 {
 		t.Fatalf("Get(2,10) returned shape %v size %d", c.Shape(), c.Size())
 	}
-	if c.At(1, 9) != 3 {
+	if c.At(1, 9) != 3 && !raceEnabled {
 		t.Errorf("pooled tensor contents should be unspecified (reused), got fresh storage")
 	}
 	ws.Put(c)
