@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench-kernels bench-json trace-smoke clean
+.PHONY: check vet build test race bench-smoke bench-kernels bench-json trace-smoke fault-smoke clean
 
 check: vet build race bench-smoke
 
@@ -46,6 +46,14 @@ trace-smoke:
 	$(GO) run ./cmd/insitu-tracecheck \
 		-require core.stage,core.upload,core.deploy,planner.plan trace-smoke.jsonl
 	rm -f trace-smoke.jsonl
+
+# Resilience proof: fuzz the CRC-framed bundle decoder briefly, then run
+# a closed-loop node simulation over a lossy downlink with an outage
+# window — retries, rollback and graceful degradation must not panic.
+fault-smoke:
+	$(GO) test -run Fuzz -fuzz FuzzDecode -fuzztime 10s ./internal/deploy
+	$(GO) run ./cmd/insitu-node -variant d -bootstrap 24 -stages 16,16 -classes 4 \
+		-fault-rate 0.4 -outage 1:2 >/dev/null
 
 clean:
 	rm -f trace-smoke.jsonl

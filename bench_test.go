@@ -310,3 +310,23 @@ func BenchmarkAblationPipeline(b *testing.B) {
 	printTable("ablation-pipeline", r.Table().String())
 	b.ReportMetric(float64(r.PlannedB), "planned-bsize")
 }
+
+var (
+	ablFaultsOnce sync.Once
+	ablFaultsRes  experiments.FaultsResult
+)
+
+// BenchmarkAblationFaults sweeps the downlink fault rate against node
+// accuracy and data movement: the closed loop's resilience curve (retry,
+// rollback, graceful degradation) under an imperfect OTA link.
+func BenchmarkAblationFaults(b *testing.B) {
+	ablFaultsOnce.Do(func() { ablFaultsRes = experiments.AblationFaults(experiments.PaperSystem) })
+	printTable("ablation-faults", ablFaultsRes.Table().String())
+	for i := 0; i < b.N; i++ {
+		_ = ablFaultsRes.Table().String()
+	}
+	n := len(ablFaultsRes.Rates)
+	b.ReportMetric(ablFaultsRes.Accuracy[n-1], "faulty-acc")
+	b.ReportMetric(ablFaultsRes.Accuracy[0]-ablFaultsRes.Accuracy[n-1], "acc-loss-at-0.6")
+	b.ReportMetric(ablFaultsRes.RetransmitKB[n-1], "retransmit-KB")
+}

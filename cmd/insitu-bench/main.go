@@ -6,7 +6,10 @@
 //
 // Experiment ids: table1, fig5, fig6, fig7, fig11, fig12, fig14, fig15,
 // fig16, fig21, fig22, fig23, table2, fig25, abl-split, abl-threshold,
-// abl-perms, abl-pipeline, all.
+// abl-perms, abl-pipeline, abl-drift, abl-quant, abl-faults, all.
+//
+// -fault-rate / -outage inject downlink faults into every closed-loop
+// experiment; abl-faults additionally sweeps the fault rate itself.
 package main
 
 import (
@@ -70,6 +73,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	faults, err := obsFlags.Faults(sysScale.Seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "insitu-bench:", err)
+		os.Exit(2)
+	}
+	// Injected faults apply to every closed-loop experiment's deploy path
+	// (table2, fig25, abl-drift and the abl-faults baseline sweep).
+	sysScale.Faults = faults
+
 	session, err := obs.Start(obsFlags)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "insitu-bench:", err)
@@ -108,6 +120,7 @@ func main() {
 		"abl-pipeline":  func() *metrics.Table { return experiments.AblationPipeline().Table() },
 		"abl-drift":     func() *metrics.Table { return experiments.AblationDrift(sysScale).Table() },
 		"abl-quant":     func() *metrics.Table { return experiments.AblationQuant(scale).Table() },
+		"abl-faults":    func() *metrics.Table { return experiments.AblationFaults(sysScale).Table() },
 	}
 
 	ids := []string{*exp}

@@ -10,6 +10,11 @@
 // exit, -trace-out FILE records stage/upload/deploy/planner events as
 // JSONL (validate with insitu-tracecheck), and -pprof-addr serves
 // pprof/expvar/metrics over HTTP while the simulation runs.
+//
+// Fault injection: -fault-rate 0.4 corrupts/drops 40% of Cloud→node
+// deploy deliveries and -outage 1:3 blacks out a transfer window; the
+// node retries with backoff, rolls back failed applies and keeps serving
+// its previous model when a deployment never lands.
 package main
 
 import (
@@ -65,6 +70,12 @@ func main() {
 		stages = append(stages, n)
 	}
 
+	faults, err := obsFlags.Faults(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "insitu-node:", err)
+		os.Exit(2)
+	}
+
 	session, err := obs.Start(obsFlags)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "insitu-node:", err)
@@ -74,6 +85,7 @@ func main() {
 	cfg := core.DefaultConfig(kind, *seed)
 	cfg.Classes = *classes
 	cfg.Severity = *severity
+	cfg.Faults = faults
 	cfg.Trace = session.Tracer
 	sys := core.NewSystem(cfg)
 
@@ -90,8 +102,15 @@ func main() {
 	t := metrics.NewTable(
 		fmt.Sprintf("In-situ AI node simulation — variant %s (%v)", *variant, kind),
 		"stage", "captured", "uploaded", "upload frac", "trained",
-		"uplink (J)", "cloud update (s)", "accuracy")
+		"uplink (J)", "cloud update (s)", "accuracy", "model", "deploy")
 	add := func(r core.StageReport) {
+		deployed := fmt.Sprintf("ok(%d)", r.DeployAttempts)
+		if r.DeployFailed {
+			deployed = fmt.Sprintf("FAILED(%d)", r.DeployAttempts)
+		}
+		if r.StaleModel {
+			deployed += " stale"
+		}
 		t.AddRow(fmt.Sprintf("%d", r.Stage),
 			fmt.Sprintf("%d", r.Captured),
 			fmt.Sprintf("%d", r.Uploaded),
@@ -99,7 +118,9 @@ func main() {
 			fmt.Sprintf("%d", r.Trained),
 			fmt.Sprintf("%.3f", r.UplinkJoules),
 			fmt.Sprintf("%.2f", r.CloudCost.Seconds),
-			fmt.Sprintf("%.3f", r.NodeAccuracy))
+			fmt.Sprintf("%.3f", r.NodeAccuracy),
+			fmt.Sprintf("v%d", r.ModelVersion),
+			deployed)
 	}
 
 	fmt.Fprintln(os.Stderr, "bootstrapping...")
@@ -114,6 +135,11 @@ func main() {
 	m := sys.Meter()
 	fmt.Printf("uplink total: %d images, %.2f MB, %.3f J over %s\n",
 		m.Items, float64(m.Bytes)/1e6, m.Joules, m.Link.Name)
+	if link := sys.Downlink(); link != nil {
+		fmt.Printf("downlink faults: %d transfers, %d corrupted, %d dropped, %d outage drops; %d retransmits (%.2f MB, %.3f J)\n",
+			link.Stats.Transfers, link.Stats.Corrupted, link.Stats.Dropped, link.Stats.OutageDrops,
+			m.Retransmits, float64(m.RetransmitBytes)/1e6, m.RetransmitJoules)
+	}
 	if err := session.Close(os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "insitu-node:", err)
 		os.Exit(1)

@@ -247,3 +247,117 @@ func TestDeploymentTracking(t *testing.T) {
 		t.Fatalf("bundle size changed: %d vs %d", rep.DownlinkBytes, boot.DownlinkBytes)
 	}
 }
+
+// TestDeployFaultToleranceEndToEnd is the hardening acceptance test: a
+// downlink that corrupts every transfer makes N consecutive deploy
+// deliveries fail. Nothing may panic; the node must keep serving the
+// model version it already had (graceful degradation); the meter must
+// show the retransmission bytes/energy; and once the link heals the
+// closed loop must reconverge onto the Cloud's latest bundle.
+func TestDeployFaultToleranceEndToEnd(t *testing.T) {
+	cfg := smallCfg(SystemInSituAI)
+	cfg.Faults = netsim.FaultConfig{Seed: 5, CorruptProb: 1}
+	cfg.DeployRetries = 2
+	sys := NewSystem(cfg)
+
+	// Bootstrap: its deployment is corrupted on every attempt.
+	boot := sys.Bootstrap(48)
+	if !boot.DeployFailed || !boot.StaleModel {
+		t.Fatalf("bootstrap deploy under 100%% corruption: %+v", boot)
+	}
+	if boot.DeployAttempts != 2 {
+		t.Fatalf("attempts = %d, want the configured retry bound", boot.DeployAttempts)
+	}
+	if boot.ModelVersion != 0 || sys.ModelVersion() != 0 {
+		t.Fatalf("node claims version %d with no successful deploy", boot.ModelVersion)
+	}
+	if sys.CloudVersion() != 1 {
+		t.Fatalf("cloud version = %d", sys.CloudVersion())
+	}
+
+	// A stage under the same broken link: still no panic, still serving
+	// the previous (here: initial) model version.
+	rep := sys.RunStage(32)
+	if !rep.DeployFailed || !rep.StaleModel || rep.ModelVersion != 0 {
+		t.Fatalf("stage under outage: %+v", rep)
+	}
+	m := sys.Meter()
+	if m.Retransmits == 0 || m.RetransmitBytes == 0 || m.RetransmitJoules <= 0 {
+		t.Fatalf("retransmissions not metered: %+v", m)
+	}
+	if rep.RetransmitBytes == 0 || rep.DeployBackoffSeconds <= 0 {
+		t.Fatalf("stage retry accounting missing: %+v", rep)
+	}
+
+	// Heal the link: the next stage's bundle must land and the node must
+	// jump to the Cloud's latest version (reconvergence).
+	sys.SetFaults(netsim.FaultConfig{})
+	healed := sys.RunStage(32)
+	if healed.DeployFailed || healed.StaleModel {
+		t.Fatalf("healed link still failing: %+v", healed)
+	}
+	if healed.DeployAttempts != 1 {
+		t.Fatalf("healed attempts = %d", healed.DeployAttempts)
+	}
+	if healed.ModelVersion != sys.CloudVersion() || healed.ModelVersion != 3 {
+		t.Fatalf("node did not reconverge: node v%d, cloud v%d", healed.ModelVersion, sys.CloudVersion())
+	}
+}
+
+// TestDeployRetrySucceedsUnderPartialLoss checks the bounded-retry path:
+// with a 50% drop rate and enough attempts, deploys eventually land and
+// every redelivery is accounted.
+func TestDeployRetrySucceedsUnderPartialLoss(t *testing.T) {
+	cfg := smallCfg(SystemInSituAI)
+	cfg.Faults = netsim.FaultConfig{Seed: 3, DropProb: 0.5}
+	cfg.DeployRetries = 8
+	sys := NewSystem(cfg)
+	boot := sys.Bootstrap(48)
+	rep := sys.RunStage(32)
+	attempts := boot.DeployAttempts + rep.DeployAttempts
+	if boot.DeployFailed || rep.DeployFailed {
+		t.Fatalf("8 retries at 50%% loss should land: %+v / %+v", boot, rep)
+	}
+	if sys.ModelVersion() != 2 {
+		t.Fatalf("node version = %d", sys.ModelVersion())
+	}
+	if attempts > 2 && sys.Meter().Retransmits == 0 {
+		t.Fatalf("%d attempts but no retransmissions metered", attempts)
+	}
+	if link := sys.Downlink(); link == nil || link.Stats.Dropped == 0 {
+		t.Fatal("lossy link saw no drops at 50% drop rate")
+	}
+}
+
+func TestUploadFracStaysInUnitInterval(t *testing.T) {
+	// Regression: the calibration set used to inflate the upload
+	// numerator without entering the captured denominator, pushing the
+	// in-situ variants' UploadFrac above 1 on tiny stages.
+	sys := NewSystem(smallCfg(SystemInSituAI))
+	sys.Bootstrap(48)
+	for _, n := range []int{8, 16, 32} {
+		rep := sys.RunStage(n)
+		if rep.UploadFrac < 0 || rep.UploadFrac > 1 {
+			t.Fatalf("stage of %d: UploadFrac = %v outside [0,1] (%d uploaded, %d captured, %d calib)",
+				n, rep.UploadFrac, rep.Uploaded, rep.Captured, rep.CalibUploaded)
+		}
+		if rep.CalibUploaded == 0 || rep.Captured <= n {
+			t.Fatalf("calib traffic not accounted: %+v", rep)
+		}
+	}
+}
+
+func TestSetFaultsTogglesLink(t *testing.T) {
+	sys := NewSystem(smallCfg(SystemInSituAI))
+	if sys.Downlink() != nil {
+		t.Fatal("perfect-link system has a lossy downlink")
+	}
+	sys.SetFaults(netsim.FaultConfig{Seed: 1, DropProb: 0.5})
+	if sys.Downlink() == nil {
+		t.Fatal("SetFaults did not install a lossy downlink")
+	}
+	sys.SetFaults(netsim.FaultConfig{})
+	if sys.Downlink() != nil {
+		t.Fatal("SetFaults did not clear the lossy downlink")
+	}
+}

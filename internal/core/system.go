@@ -24,6 +24,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 
 	"insitu/internal/cloud"
@@ -99,6 +100,12 @@ type Config struct {
 	Cost          cloud.CostModel
 	// Probes is the diagnosis probe count per image.
 	Probes int
+	// Faults injects corruption/drops/outages into the Cloud→node
+	// downlink (the OTA deploy path). The zero value is a perfect link.
+	Faults netsim.FaultConfig
+	// DeployRetries bounds redelivery attempts per stage before the
+	// deployment is abandoned and the node keeps its previous model.
+	DeployRetries int
 	// FrozenModel turns the system into the paper's Fig. 1(b) baseline:
 	// the statically trained edge model. Nothing uploads after the
 	// bootstrap and nothing updates — the motivation experiment for
@@ -123,6 +130,7 @@ func DefaultConfig(kind SystemKind, seed uint64) Config {
 		FullScaleSpec: models.AlexNet(),
 		Cost:          cloud.NewCostModel(),
 		Probes:        3,
+		DeployRetries: 3,
 	}
 }
 
@@ -152,6 +160,24 @@ type StageReport struct {
 	DownlinkBytes int64
 	// ModelVersion is the bundle version the node runs after this stage.
 	ModelVersion uint32
+	// CalibUploaded is how many of the uploaded images were calibration
+	// traffic (extra metered uploads for the in-situ variants).
+	CalibUploaded int
+	// DeployAttempts counts downlink deliveries of this stage's bundle
+	// (1 on a clean link, 0 when nothing deploys).
+	DeployAttempts int
+	// DeployFailed is set when every delivery attempt failed; the node
+	// keeps serving its previous model (graceful degradation).
+	DeployFailed bool
+	// StaleModel is set while the node's model version lags the Cloud's
+	// latest published bundle.
+	StaleModel bool
+	// RetransmitBytes is the extra downlink traffic spent redelivering
+	// this stage's bundle after drops/corruption.
+	RetransmitBytes int64
+	// DeployBackoffSeconds is the modeled time spent waiting between
+	// redelivery attempts (0.5 s base, doubling per retry).
+	DeployBackoffSeconds float64
 }
 
 // System is one simulated IoT deployment (node + Cloud). The Cloud and
@@ -174,7 +200,12 @@ type System struct {
 	jigTr    *jigsaw.Trainer
 	meter    *netsim.Meter
 	diagSpec models.NetSpec
-	version  uint32
+	// downlink injects faults into deploy deliveries; nil = perfect link.
+	downlink *netsim.LossyLink
+	// cloudVersion is the latest bundle the Cloud published; nodeVersion
+	// is what the node actually runs. They diverge while deploys fail.
+	cloudVersion uint32
+	nodeVersion  uint32
 
 	// cloudData is every sample the Cloud has received (its replay pool).
 	cloudData []dataset.Sample
@@ -202,29 +233,116 @@ func NewSystem(cfg Config) *System {
 	s.jigTr = jigsaw.NewTrainer(s.cloudJig, s.permSet, 0.01, cfg.Seed+5)
 	s.cloudDiag = diagnosis.NewJigsawDiagnoser(s.cloudJig, s.permSet, cfg.Probes, cfg.Seed+6)
 	s.diag = diagnosis.NewJigsawDiagnoser(s.nodeJig, s.permSet, cfg.Probes, cfg.Seed+6)
+	if cfg.Faults.Enabled() {
+		s.downlink = netsim.NewLossyLink(cfg.Link, cfg.Faults)
+	}
 	return s
 }
 
+// SetFaults swaps the downlink fault model for subsequent stages — e.g.
+// healing the link after an injected outage, the counterpart of
+// SetSeverity for the network environment.
+func (s *System) SetFaults(cfg netsim.FaultConfig) {
+	s.Cfg.Faults = cfg
+	if cfg.Enabled() {
+		s.downlink = netsim.NewLossyLink(s.Cfg.Link, cfg)
+	} else {
+		s.downlink = nil
+	}
+}
+
+// deployOutcome summarizes one stage's OTA delivery.
+type deployOutcome struct {
+	bytes       int64 // encoded bundle size (the downlink cost per delivery)
+	attempts    int
+	retransmits int64 // extra bytes spent on redeliveries
+	backoff     float64
+	failed      bool
+	err         error // last delivery error when failed
+}
+
+// deployBackoffBase is the modeled wait before the first redelivery; it
+// doubles per retry (0.5 s, 1 s, 2 s, …).
+const deployBackoffBase = 0.5
+
 // deployToNode packages the Cloud models plus the calibrated threshold
-// and ships them over the (simulated) downlink to the node's copies.
-func (s *System) deployToNode() int64 {
-	s.version++
-	bundle, err := deploy.Pack(s.version, s.cloudInfer, s.cloudJig, s.cloudDiag.Threshold())
+// and ships them over the (simulated, possibly faulty) downlink to the
+// node's copies. Delivery is retried with exponential backoff up to
+// Config.DeployRetries times; every redelivery is metered as retransmit
+// traffic. On persistent failure the node is left exactly as it was —
+// serving the previous model version — and the loop degrades gracefully
+// instead of crashing: the next stage publishes a fresh bundle that
+// re-converges the node once the link lets one through.
+func (s *System) deployToNode() deployOutcome {
+	s.cloudVersion++
+	bundle, err := deploy.Pack(s.cloudVersion, s.cloudInfer, s.cloudJig, s.cloudDiag.Threshold())
 	if err != nil {
-		panic(fmt.Sprintf("core: packing deployment: %v", err))
+		// Cloud-side packing failure: nothing was transmitted.
+		out := deployOutcome{failed: true, err: fmt.Errorf("core: packing deployment: %w", err)}
+		countDeployFault(func(st *coreStats) *telemetry.Counter { return st.deployFailures })
+		return out
 	}
 	var wire bytes.Buffer
 	if err := bundle.Encode(&wire); err != nil {
-		panic(fmt.Sprintf("core: encoding deployment: %v", err))
+		out := deployOutcome{failed: true, err: fmt.Errorf("core: encoding deployment: %w", err)}
+		countDeployFault(func(st *coreStats) *telemetry.Counter { return st.deployFailures })
+		return out
 	}
-	received, err := deploy.Decode(&wire)
-	if err != nil {
-		panic(fmt.Sprintf("core: downlink corrupted: %v", err))
+	frame := wire.Bytes()
+	out := deployOutcome{bytes: bundle.Size()}
+
+	retries := s.Cfg.DeployRetries
+	if retries < 1 {
+		retries = 1
 	}
-	if err := received.Apply(s.nodeInfer, s.nodeJig, s.diag); err != nil {
-		panic(fmt.Sprintf("core: applying deployment: %v", err))
+	for attempt := 1; attempt <= retries; attempt++ {
+		out.attempts = attempt
+		if attempt > 1 {
+			// Redelivery: back off, then pay the transmit cost again.
+			out.backoff += deployBackoffBase * float64(int64(1)<<(attempt-2))
+			s.meter.Retransmit(int64(len(frame)))
+			out.retransmits += int64(len(frame))
+			countDeployFault(func(st *coreStats) *telemetry.Counter { return st.deployRetries })
+		}
+		raw := frame
+		delivery := netsim.DeliverOK
+		if s.downlink != nil {
+			delivery = s.downlink.Transmit(int64(len(frame)))
+		}
+		switch delivery {
+		case netsim.DeliverDrop:
+			out.err = fmt.Errorf("core: bundle v%d lost in transit", bundle.Version)
+			countDeployFault(func(st *coreStats) *telemetry.Counter { return st.deployDrops })
+			continue
+		case netsim.DeliverCorrupt:
+			raw = append([]byte(nil), frame...)
+			s.downlink.CorruptPayload(raw)
+		}
+		received, err := deploy.Decode(bytes.NewReader(raw))
+		if err != nil {
+			// The node's CRC caught the corruption; ask for a redelivery.
+			out.err = fmt.Errorf("core: downlink corrupted: %w", err)
+			countDeployFault(func(st *coreStats) *telemetry.Counter { return st.deployCorruptions })
+			continue
+		}
+		if err := received.ApplyAtomic(s.nodeVersion, s.nodeInfer, s.nodeJig, s.diag); err != nil {
+			// Mid-apply failure rolled the node back to its previous
+			// weights; stale bundles are not retried (a newer one is
+			// already running).
+			out.err = fmt.Errorf("core: applying deployment: %w", err)
+			countDeployFault(func(st *coreStats) *telemetry.Counter { return st.deployRollbacks })
+			if errors.Is(err, deploy.ErrStale) {
+				break
+			}
+			continue
+		}
+		s.nodeVersion = received.Version
+		out.err = nil
+		return out
 	}
-	return bundle.Size()
+	out.failed = true
+	countDeployFault(func(st *coreStats) *telemetry.Counter { return st.deployFailures })
+	return out
 }
 
 // Meter exposes the node's uplink meter.
@@ -236,8 +354,15 @@ func (s *System) InferenceNet() *nn.Network { return s.nodeInfer }
 // Diagnoser exposes the node's diagnosis task.
 func (s *System) Diagnoser() *diagnosis.JigsawDiagnoser { return s.diag }
 
-// ModelVersion returns the bundle version currently deployed.
-func (s *System) ModelVersion() uint32 { return s.version }
+// ModelVersion returns the bundle version the node currently runs.
+func (s *System) ModelVersion() uint32 { return s.nodeVersion }
+
+// CloudVersion returns the latest bundle version the Cloud published;
+// it exceeds ModelVersion while deployments are failing.
+func (s *System) CloudVersion() uint32 { return s.cloudVersion }
+
+// Downlink exposes the fault-injected downlink, nil on a perfect link.
+func (s *System) Downlink() *netsim.LossyLink { return s.downlink }
 
 // Bootstrap performs the paper's initialization: n images are captured
 // and (in every variant) moved to the Cloud, the unsupervised network is
@@ -272,25 +397,30 @@ func (s *System) Bootstrap(n int) StageReport {
 	// threshold ships to the node inside the deployment bundle.
 	errRate := 1 - train.Evaluate(s.cloudInfer, capture)
 	diagnosis.Calibrate(s.cloudDiag, capture, calibTarget(errRate))
-	downlink := s.deployToNode()
+	dep := s.deployToNode()
 
 	cost := s.Cfg.Cost.PretrainCost(s.diagSpec, n, 0)
 	cost.Add(s.Cfg.Cost.UpdateCost(s.Cfg.FullScaleSpec, n, 0))
 	s.stage = 1
 	rep := StageReport{
-		Stage:         0,
-		Kind:          s.Cfg.Kind,
-		Captured:      n,
-		Uploaded:      n,
-		UploadedBytes: int64(n) * dataset.ImageBytes,
-		UploadFrac:    1,
-		UplinkJoules:  s.Cfg.Link.TransferEnergy(int64(n) * dataset.ImageBytes),
-		UplinkSeconds: s.Cfg.Link.TransferTime(int64(n) * dataset.ImageBytes),
-		Trained:       n,
-		CloudCost:     cost,
-		NodeAccuracy:  s.evaluate(),
-		DownlinkBytes: downlink,
-		ModelVersion:  s.version,
+		Stage:                0,
+		Kind:                 s.Cfg.Kind,
+		Captured:             n,
+		Uploaded:             n,
+		UploadedBytes:        int64(n) * dataset.ImageBytes,
+		UploadFrac:           1,
+		UplinkJoules:         s.Cfg.Link.TransferEnergy(int64(n) * dataset.ImageBytes),
+		UplinkSeconds:        s.Cfg.Link.TransferTime(int64(n) * dataset.ImageBytes),
+		Trained:              n,
+		CloudCost:            cost,
+		NodeAccuracy:         s.evaluate(),
+		DownlinkBytes:        dep.bytes,
+		ModelVersion:         s.nodeVersion,
+		DeployAttempts:       dep.attempts,
+		DeployFailed:         dep.failed,
+		StaleModel:           s.nodeVersion < s.cloudVersion,
+		RetransmitBytes:      dep.retransmits,
+		DeployBackoffSeconds: dep.backoff,
 	}
 	s.record(rep)
 	return rep
@@ -320,7 +450,8 @@ func (s *System) RunStage(n int) StageReport {
 			Captured:         n,
 			NodeAccuracy:     s.evaluate(),
 			DiagnosisQuality: quality,
-			ModelVersion:     s.version,
+			ModelVersion:     s.nodeVersion,
+			StaleModel:       s.nodeVersion < s.cloudVersion,
 		}
 		s.stage++
 		s.record(rep)
@@ -338,11 +469,19 @@ func (s *System) RunStage(n int) StageReport {
 	}
 	calib := s.gen.MixedSet(calibN, s.Cfg.InSituFrac, s.Cfg.Severity)
 
-	// What moves to the Cloud.
+	// What moves to the Cloud. For the in-situ variants the calibration
+	// set is extra metered traffic on top of the diagnosis-filtered
+	// uploads, so it also counts into the captured denominator below —
+	// otherwise the upload fraction could exceed 1 early on, when the
+	// diagnoser still flags nearly everything.
 	var uploaded []dataset.Sample
+	calibUploaded := 0
+	capturedTotal := n
 	if s.Cfg.Kind.UsesNodeDiagnosis() {
 		_, unrecognized := diagnosis.Split(s.diag, capture)
 		uploaded = append(unrecognized, calib...)
+		calibUploaded = len(calib)
+		capturedTotal = n + len(calib)
 	} else {
 		uploaded = capture
 	}
@@ -356,8 +495,10 @@ func (s *System) RunStage(n int) StageReport {
 	case s.Cfg.Kind == SystemCloudAll:
 		trainSet = capture
 	case s.Cfg.Kind == SystemCloudDiagnosis:
-		// Cloud-side diagnosis: same filter, applied after the move.
-		_, unrecognized := diagnosis.Split(s.diag, capture)
+		// Cloud-side diagnosis: same filter, applied after the move —
+		// with the Cloud's own diagnoser, whose threshold the Cloud just
+		// recalibrated (the node copy may lag a deploy behind).
+		_, unrecognized := diagnosis.Split(s.cloudDiag, capture)
 		trainSet = unrecognized
 	default:
 		trainSet = uploaded
@@ -389,7 +530,7 @@ func (s *System) RunStage(n int) StageReport {
 	prevThr := s.cloudDiag.Threshold()
 	diagnosis.Calibrate(s.cloudDiag, calib, calibTarget(errRate))
 	s.cloudDiag.SetThreshold(0.5*prevThr + 0.5*s.cloudDiag.Threshold())
-	downlink := s.deployToNode()
+	dep := s.deployToNode()
 
 	// Price the update at full scale.
 	var cost cloud.Cost
@@ -399,20 +540,26 @@ func (s *System) RunStage(n int) StageReport {
 	}
 
 	rep := StageReport{
-		Stage:            s.stage,
-		Kind:             s.Cfg.Kind,
-		Captured:         n,
-		Uploaded:         len(uploaded),
-		UploadedBytes:    upBytes,
-		UploadFrac:       float64(len(uploaded)) / float64(n),
-		UplinkJoules:     s.Cfg.Link.TransferEnergy(upBytes),
-		UplinkSeconds:    s.Cfg.Link.TransferTime(upBytes),
-		Trained:          len(trainSet),
-		CloudCost:        cost,
-		NodeAccuracy:     s.evaluate(),
-		DiagnosisQuality: quality,
-		DownlinkBytes:    downlink,
-		ModelVersion:     s.version,
+		Stage:                s.stage,
+		Kind:                 s.Cfg.Kind,
+		Captured:             capturedTotal,
+		Uploaded:             len(uploaded),
+		UploadedBytes:        upBytes,
+		UploadFrac:           float64(len(uploaded)) / float64(capturedTotal),
+		UplinkJoules:         s.Cfg.Link.TransferEnergy(upBytes),
+		UplinkSeconds:        s.Cfg.Link.TransferTime(upBytes),
+		Trained:              len(trainSet),
+		CloudCost:            cost,
+		NodeAccuracy:         s.evaluate(),
+		DiagnosisQuality:     quality,
+		DownlinkBytes:        dep.bytes,
+		ModelVersion:         s.nodeVersion,
+		CalibUploaded:        calibUploaded,
+		DeployAttempts:       dep.attempts,
+		DeployFailed:         dep.failed,
+		StaleModel:           s.nodeVersion < s.cloudVersion,
+		RetransmitBytes:      dep.retransmits,
+		DeployBackoffSeconds: dep.backoff,
 	}
 	s.stage++
 	s.record(rep)

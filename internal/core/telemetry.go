@@ -21,6 +21,22 @@ type coreStats struct {
 	deploys    *telemetry.Counter // core_deploys_total
 	retrainSec *telemetry.Gauge   // core_retrain_seconds_total (modeled, cumulative)
 	accuracy   *telemetry.Gauge   // core_node_accuracy (last evaluated)
+	// Fault-path counters: what the lossy downlink did to deployments.
+	deployRetries     *telemetry.Counter // core_deploy_retries_total (redeliveries)
+	deployCorruptions *telemetry.Counter // core_deploy_corruptions_total (CRC rejections)
+	deployDrops       *telemetry.Counter // core_deploy_drops_total (lost deliveries)
+	deployRollbacks   *telemetry.Counter // core_deploy_rollbacks_total (apply failures rolled back)
+	deployFailures    *telemetry.Counter // core_deploy_failures_total (stages that gave up)
+	staleStages       *telemetry.Counter // core_stale_model_stages_total
+	retransBytes      *telemetry.Counter // core_retransmit_bytes_total
+}
+
+// countDeployFault bumps one fault-path counter when telemetry is on;
+// pick selects the counter from the live stats.
+func countDeployFault(pick func(*coreStats) *telemetry.Counter) {
+	if st := stats.Load(); st != nil {
+		pick(st).Inc()
+	}
 }
 
 var stats atomic.Pointer[coreStats]
@@ -42,6 +58,14 @@ func EnableTelemetry(reg *telemetry.Registry) {
 		deploys:    reg.Counter("core_deploys_total"),
 		retrainSec: reg.Gauge("core_retrain_seconds_total"),
 		accuracy:   reg.Gauge("core_node_accuracy"),
+
+		deployRetries:     reg.Counter("core_deploy_retries_total"),
+		deployCorruptions: reg.Counter("core_deploy_corruptions_total"),
+		deployDrops:       reg.Counter("core_deploy_drops_total"),
+		deployRollbacks:   reg.Counter("core_deploy_rollbacks_total"),
+		deployFailures:    reg.Counter("core_deploy_failures_total"),
+		staleStages:       reg.Counter("core_stale_model_stages_total"),
+		retransBytes:      reg.Counter("core_retransmit_bytes_total"),
 	})
 }
 
@@ -55,9 +79,13 @@ func (s *System) record(rep StageReport) {
 		st.upBytes.Add(rep.UploadedBytes)
 		st.trained.Add(int64(rep.Trained))
 		st.downBytes.Add(rep.DownlinkBytes)
-		if rep.DownlinkBytes > 0 {
+		if rep.DownlinkBytes > 0 && !rep.DeployFailed {
 			st.deploys.Add(1)
 		}
+		if rep.StaleModel {
+			st.staleStages.Add(1)
+		}
+		st.retransBytes.Add(rep.RetransmitBytes)
 		st.retrainSec.Add(rep.CloudCost.Seconds)
 		st.accuracy.Set(rep.NodeAccuracy)
 	}
@@ -74,6 +102,8 @@ func (s *System) record(rep StageReport) {
 	if rep.DownlinkBytes > 0 {
 		tr.Emit("core.deploy", telemetry.Attrs{
 			"stage": rep.Stage, "bytes": rep.DownlinkBytes, "version": rep.ModelVersion,
+			"attempts": rep.DeployAttempts, "failed": rep.DeployFailed,
+			"stale": rep.StaleModel, "retransmit_bytes": rep.RetransmitBytes,
 		})
 	}
 	tr.Emit("core.stage", telemetry.Attrs{

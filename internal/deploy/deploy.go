@@ -11,6 +11,7 @@ package deploy
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -19,6 +20,11 @@ import (
 	"insitu/internal/diagnosis"
 	"insitu/internal/nn"
 )
+
+// ErrStale marks a bundle whose version is not newer than what the node
+// already runs — a replayed or out-of-order delivery that must not be
+// applied.
+var ErrStale = errors.New("deploy: stale bundle version")
 
 // Bundle is one versioned model deployment.
 type Bundle struct {
@@ -116,7 +122,9 @@ func Decode(r io.Reader) (*Bundle, error) {
 		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
 			return nil, err
 		}
-		if int(n) > br.Len() {
+		// Compare in int64: int(n) can wrap negative on 32-bit platforms
+		// and bypass the bound.
+		if int64(n) > int64(br.Len()) {
 			return nil, fmt.Errorf("deploy: payload length %d exceeds remaining %d", n, br.Len())
 		}
 		buf := make([]byte, n)
@@ -134,12 +142,58 @@ func Decode(r io.Reader) (*Bundle, error) {
 // Apply loads the bundle's weights into the node's networks and sets the
 // diagnosis threshold. The networks must be structurally identical to the
 // ones the bundle was packed from.
+//
+// Apply is NOT transactional: LoadWeights writes parameters in place as
+// it reads, so a mid-apply failure leaves the networks partially
+// updated. OTA paths should use ApplyAtomic.
 func (b *Bundle) Apply(inference, jigsaw *nn.Network, diag diagnosis.Diagnoser) error {
 	if err := inference.LoadWeights(bytes.NewReader(b.InferenceWeights)); err != nil {
 		return fmt.Errorf("deploy: applying inference weights: %w", err)
 	}
 	if err := jigsaw.LoadWeights(bytes.NewReader(b.JigsawWeights)); err != nil {
 		return fmt.Errorf("deploy: applying jigsaw weights: %w", err)
+	}
+	if diag != nil {
+		diag.SetThreshold(b.Threshold)
+	}
+	return nil
+}
+
+// ApplyAtomic is the node's OTA update path: it rejects stale or
+// replayed bundles (Version must exceed current), snapshots both
+// networks' weights before touching them, and rolls the snapshot back if
+// either load fails mid-apply — the node is never left half-updated. On
+// success it returns nil and the caller should advance its version to
+// b.Version; on any error the networks still hold their previous
+// weights and the threshold is unchanged.
+func (b *Bundle) ApplyAtomic(current uint32, inference, jigsaw *nn.Network, diag diagnosis.Diagnoser) error {
+	if b.Version <= current {
+		return fmt.Errorf("%w: bundle v%d, node runs v%d", ErrStale, b.Version, current)
+	}
+	var infSnap, jigSnap bytes.Buffer
+	if err := inference.SaveWeights(&infSnap); err != nil {
+		return fmt.Errorf("deploy: snapshotting inference weights: %w", err)
+	}
+	if err := jigsaw.SaveWeights(&jigSnap); err != nil {
+		return fmt.Errorf("deploy: snapshotting jigsaw weights: %w", err)
+	}
+	restore := func(net *nn.Network, snap *bytes.Buffer) error {
+		return net.LoadWeights(bytes.NewReader(snap.Bytes()))
+	}
+	if err := inference.LoadWeights(bytes.NewReader(b.InferenceWeights)); err != nil {
+		if rerr := restore(inference, &infSnap); rerr != nil {
+			return fmt.Errorf("deploy: rollback failed (%v) after apply error: %w", rerr, err)
+		}
+		return fmt.Errorf("deploy: applying inference weights (rolled back): %w", err)
+	}
+	if err := jigsaw.LoadWeights(bytes.NewReader(b.JigsawWeights)); err != nil {
+		if rerr := restore(inference, &infSnap); rerr != nil {
+			return fmt.Errorf("deploy: rollback failed (%v) after apply error: %w", rerr, err)
+		}
+		if rerr := restore(jigsaw, &jigSnap); rerr != nil {
+			return fmt.Errorf("deploy: rollback failed (%v) after apply error: %w", rerr, err)
+		}
+		return fmt.Errorf("deploy: applying jigsaw weights (rolled back): %w", err)
 	}
 	if diag != nil {
 		diag.SetThreshold(b.Threshold)

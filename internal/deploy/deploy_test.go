@@ -2,12 +2,17 @@ package deploy
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
 	"testing"
 	"testing/quick"
 
 	"insitu/internal/diagnosis"
 	"insitu/internal/jigsaw"
 	"insitu/internal/models"
+	"insitu/internal/nn"
 	"insitu/internal/tensor"
 )
 
@@ -141,5 +146,123 @@ func TestQuickMetadataRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestApplyAtomicRejectsStaleAndReplay(t *testing.T) {
+	inf := models.TinyAlex(3, 1)
+	jig := jigsaw.NewNet(6, 2)
+	bundle, _ := Pack(3, inf, jig, 0.5)
+	node := models.TinyAlex(3, 9)
+	nodeJig := jigsaw.NewNet(6, 8)
+	// Node already at the bundle's version: replay must be rejected.
+	if err := bundle.ApplyAtomic(3, node, nodeJig, nil); !errors.Is(err, ErrStale) {
+		t.Fatalf("replayed bundle: err = %v, want ErrStale", err)
+	}
+	// Node ahead of the bundle: stale must be rejected.
+	if err := bundle.ApplyAtomic(7, node, nodeJig, nil); !errors.Is(err, ErrStale) {
+		t.Fatalf("stale bundle: err = %v, want ErrStale", err)
+	}
+	// Node behind: applies cleanly.
+	if err := bundle.ApplyAtomic(2, node, nodeJig, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// forward runs a fixed probe batch through the net, for before/after
+// weight comparisons.
+func forward(net *nn.Network) []float32 {
+	r := tensor.NewRNG(17)
+	x := tensor.New(2, models.ImgChannels, models.ImgSize, models.ImgSize)
+	x.FillNormal(r, 0, 1)
+	return append([]float32(nil), net.Forward(x, false).Data...)
+}
+
+func TestApplyAtomicRollsBackOnMidApplyFailure(t *testing.T) {
+	inf := models.TinyAlex(3, 1)
+	jig := jigsaw.NewNet(6, 2)
+	bundle, _ := Pack(5, inf, jig, 0.9)
+	// A bundle that decodes fine but whose jigsaw payload fails mid-apply:
+	// the inference weights load first, then the jigsaw load errors.
+	bundle.JigsawWeights = bundle.JigsawWeights[:len(bundle.JigsawWeights)/2]
+
+	node := models.TinyAlex(3, 9)
+	nodeJig := jigsaw.NewNet(6, 8)
+	set := jigsaw.NewPermSet(6, 3)
+	d := diagnosis.NewJigsawDiagnoser(nodeJig, set, 2, 4)
+	d.SetThreshold(0.25)
+	beforeInf := forward(node)
+	beforeJig := append([]float32(nil), nodeJig.Params()[0].Value.Data...)
+
+	if err := bundle.ApplyAtomic(1, node, nodeJig, d); err == nil {
+		t.Fatal("truncated jigsaw payload applied")
+	}
+	afterInf := forward(node)
+	for i := range beforeInf {
+		if beforeInf[i] != afterInf[i] {
+			t.Fatal("inference weights not rolled back after mid-apply failure")
+		}
+	}
+	afterJig := nodeJig.Params()[0].Value.Data
+	for i := range beforeJig {
+		if beforeJig[i] != afterJig[i] {
+			t.Fatal("jigsaw weights changed after failed apply")
+		}
+	}
+	if d.Threshold() != 0.25 {
+		t.Fatalf("threshold changed on failed apply: %v", d.Threshold())
+	}
+
+	// A bundle whose inference payload itself is broken: first load fails,
+	// nothing may change.
+	bundle2, _ := Pack(5, inf, jig, 0.9)
+	bundle2.InferenceWeights = bundle2.InferenceWeights[:8]
+	if err := bundle2.ApplyAtomic(1, node, nodeJig, d); err == nil {
+		t.Fatal("truncated inference payload applied")
+	}
+	afterInf2 := forward(node)
+	for i := range beforeInf {
+		if beforeInf[i] != afterInf2[i] {
+			t.Fatal("inference weights not rolled back after first-load failure")
+		}
+	}
+}
+
+func TestDecodeRejectsEveryByteFlip(t *testing.T) {
+	inf := models.TinyAlex(2, 1)
+	jig := jigsaw.NewNet(4, 2)
+	bundle, _ := Pack(1, inf, jig, 0.5)
+	var wire bytes.Buffer
+	if err := bundle.Encode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	raw := wire.Bytes()
+	// Stride through the frame (covering magic, header, payloads, CRC):
+	// any single flipped byte must be rejected.
+	stride := len(raw)/257 + 1
+	for i := 0; i < len(raw); i += stride {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0x40
+		if _, err := Decode(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("flip at byte %d of %d accepted", i, len(raw))
+		}
+	}
+}
+
+func TestDecodeRejectsHugeLengthPrefix(t *testing.T) {
+	// Hand-build a frame whose first payload length claims ~4 GiB; with
+	// a valid CRC the length check itself must reject it (and must not
+	// wrap negative through int conversion).
+	var body bytes.Buffer
+	binary.Write(&body, binary.LittleEndian, uint32(1))             // version
+	binary.Write(&body, binary.LittleEndian, math.Float64bits(0.5)) // threshold
+	binary.Write(&body, binary.LittleEndian, uint32(0xFFFFFFF0))    // absurd length
+	body.Write(make([]byte, 16))                                    // far fewer bytes than claimed
+	var wire bytes.Buffer
+	wire.WriteString("ISDP0001")
+	wire.Write(body.Bytes())
+	binary.Write(&wire, binary.LittleEndian, crc32.ChecksumIEEE(body.Bytes()))
+	if _, err := Decode(bytes.NewReader(wire.Bytes())); err == nil {
+		t.Fatal("absurd payload length accepted")
 	}
 }

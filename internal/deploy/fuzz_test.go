@@ -1,0 +1,53 @@
+package deploy
+
+import (
+	"bytes"
+	"testing"
+
+	"insitu/internal/jigsaw"
+	"insitu/internal/models"
+)
+
+// FuzzDecode throws arbitrary byte strings at the bundle decoder:
+// truncations, flipped bytes and bad length prefixes must all return
+// errors — never panic — and anything that does decode must re-encode
+// byte-identically (Decode consumes the whole frame, so a successful
+// decode pins down every byte).
+func FuzzDecode(f *testing.F) {
+	inf := models.TinyAlex(2, 1)
+	jig := jigsaw.NewNet(4, 2)
+	bundle, err := Pack(3, inf, jig, 0.25)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var wire bytes.Buffer
+	if err := bundle.Encode(&wire); err != nil {
+		f.Fatal(err)
+	}
+	valid := wire.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:8])
+	f.Add([]byte{})
+	f.Add([]byte("ISDP0001"))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x10
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := b.Encode(&out); err != nil {
+			t.Fatalf("decoded bundle failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("decode/encode round trip not canonical: %d in, %d out", len(data), out.Len())
+		}
+		if b.Size() != int64(len(data)) {
+			t.Fatalf("Size() = %d, frame is %d bytes", b.Size(), len(data))
+		}
+	})
+}

@@ -288,3 +288,30 @@ func TestRenderAllAnalyticTables(t *testing.T) {
 		}
 	}
 }
+
+func TestAblationFaultsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("closed-loop experiment")
+	}
+	r := AblationFaults(SmallSystem)
+	if len(r.Rates) != 4 || r.Rates[0] != 0 {
+		t.Fatalf("rates = %v", r.Rates)
+	}
+	// Fault-free baseline: every deployment lands first try, nothing stale,
+	// no retransmits, node at the Cloud's version.
+	if r.FailedStages[0] != 0 || r.StaleStages[0] != 0 || r.RetransmitKB[0] != 0 {
+		t.Fatalf("fault-free run shows faults: %+v", r)
+	}
+	if r.NodeVersion[0] != r.CloudVersion[0] {
+		t.Fatalf("fault-free node lags cloud: v%d vs v%d", r.NodeVersion[0], r.CloudVersion[0])
+	}
+	// Under faults the link must have cost something: more deliveries or
+	// retransmitted bytes than the baseline at the highest rate.
+	last := len(r.Rates) - 1
+	if r.Attempts[last] <= r.Attempts[0] && r.RetransmitKB[last] == 0 {
+		t.Fatalf("fault sweep shows no link cost: attempts %v retransmit %v", r.Attempts, r.RetransmitKB)
+	}
+	if !strings.Contains(r.Table().String(), "downlink faults") {
+		t.Fatal("table render broken")
+	}
+}

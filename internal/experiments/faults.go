@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"insitu/internal/core"
+	"insitu/internal/metrics"
+	"insitu/internal/netsim"
+)
+
+// FaultsResult sweeps the downlink fault rate against the closed loop's
+// outcomes: what an imperfect OTA path costs in accuracy, deliveries and
+// retransmitted data — the resilience counterpart of Table II.
+type FaultsResult struct {
+	Rates []float64
+	// Accuracy is the node's deployed-model accuracy after the last stage.
+	Accuracy []float64
+	// Attempts is the total downlink deliveries across all stages.
+	Attempts []int
+	// FailedStages counts stages whose deployment never landed.
+	FailedStages []int
+	// StaleStages counts stages the node ended behind the Cloud's model.
+	StaleStages []int
+	// RetransmitKB is the redelivery traffic over the whole run.
+	RetransmitKB []float64
+	// NodeVersion / CloudVersion show how far the node lagged at the end.
+	NodeVersion  []uint32
+	CloudVersion []uint32
+}
+
+// AblationFaults runs the In-situ AI variant (d) through an identical
+// capture schedule under increasing per-transfer fault rates (half
+// corruption, half drops) and reports how the loop degrades and
+// recovers. Rate 0 is the fault-free baseline.
+func AblationFaults(s SystemScale) FaultsResult {
+	var r FaultsResult
+	for _, rate := range []float64{0, 0.2, 0.4, 0.6} {
+		cfg := core.DefaultConfig(core.SystemInSituAI, s.Seed)
+		cfg.Classes = s.Classes
+		cfg.PermClasses = s.Perms
+		cfg.Faults = netsim.FaultConfig{
+			Seed:        s.Seed + 101,
+			CorruptProb: rate / 2,
+			DropProb:    rate / 2,
+		}
+		sys := core.NewSystem(cfg)
+		reports := []core.StageReport{sys.Bootstrap(s.Bootstrap)}
+		for _, n := range s.Stages {
+			reports = append(reports, sys.RunStage(n))
+		}
+		var attempts, failed, stale int
+		for _, rep := range reports {
+			attempts += rep.DeployAttempts
+			if rep.DeployFailed {
+				failed++
+			}
+			if rep.StaleModel {
+				stale++
+			}
+		}
+		r.Rates = append(r.Rates, rate)
+		r.Accuracy = append(r.Accuracy, reports[len(reports)-1].NodeAccuracy)
+		r.Attempts = append(r.Attempts, attempts)
+		r.FailedStages = append(r.FailedStages, failed)
+		r.StaleStages = append(r.StaleStages, stale)
+		r.RetransmitKB = append(r.RetransmitKB, float64(sys.Meter().RetransmitBytes)/1e3)
+		r.NodeVersion = append(r.NodeVersion, sys.ModelVersion())
+		r.CloudVersion = append(r.CloudVersion, sys.CloudVersion())
+	}
+	return r
+}
+
+// Table renders the result.
+func (r FaultsResult) Table() *metrics.Table {
+	t := metrics.NewTable("Ablation — closed loop under downlink faults (variant d)",
+		"fault rate", "accuracy", "deliveries", "failed stages", "stale stages",
+		"retransmit (KB)", "node/cloud version")
+	for i := range r.Rates {
+		t.AddRow(fmt.Sprintf("%.1f", r.Rates[i]),
+			fmt.Sprintf("%.3f", r.Accuracy[i]),
+			fmt.Sprintf("%d", r.Attempts[i]),
+			fmt.Sprintf("%d", r.FailedStages[i]),
+			fmt.Sprintf("%d", r.StaleStages[i]),
+			fmt.Sprintf("%.1f", r.RetransmitKB[i]),
+			fmt.Sprintf("v%d/v%d", r.NodeVersion[i], r.CloudVersion[i]))
+	}
+	return t
+}

@@ -5,6 +5,7 @@ import (
 
 	"insitu/internal/core"
 	"insitu/internal/metrics"
+	"insitu/internal/netsim"
 )
 
 // SystemScale sizes the closed-loop experiments (Table II, Fig. 25). The
@@ -16,6 +17,9 @@ type SystemScale struct {
 	Classes   int
 	Perms     int
 	Seed      uint64
+	// Faults injects downlink faults into every variant's deploy path
+	// (the CLIs wire -fault-rate/-outage here); zero = perfect link.
+	Faults netsim.FaultConfig
 }
 
 // SmallSystem is the test-suite scale.
@@ -30,6 +34,7 @@ func RunSystems(s SystemScale) *core.Comparison {
 	return core.RunComparison(s.Seed, s.Bootstrap, s.Stages, func(c *core.Config) {
 		c.Classes = s.Classes
 		c.PermClasses = s.Perms
+		c.Faults = s.Faults
 	})
 }
 

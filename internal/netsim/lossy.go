@@ -1,0 +1,157 @@
+// Fault injection for the Cloud↔node path: a seeded LossyLink wraps an
+// Uplink and decides, per transfer, whether the payload arrives intact,
+// arrives corrupted, or is lost entirely (random drop or a scheduled
+// outage window). The paper's closed loop (Fig. 4) assumes a perfect
+// wireless link; this layer lets the Table II / Fig. 25 experiments be
+// replayed under the imperfect links real IoT deployments see, with the
+// retransmission cost accounted on the same byte/energy meters.
+package netsim
+
+import (
+	"fmt"
+
+	"insitu/internal/tensor"
+)
+
+// Delivery is the outcome of one simulated transfer.
+type Delivery int
+
+const (
+	// DeliverOK means the payload arrived intact.
+	DeliverOK Delivery = iota
+	// DeliverCorrupt means the payload arrived with flipped bits (the
+	// receiver's checksum is expected to catch it).
+	DeliverCorrupt
+	// DeliverDrop means the payload never arrived (loss or outage).
+	DeliverDrop
+)
+
+// String implements fmt.Stringer.
+func (d Delivery) String() string {
+	switch d {
+	case DeliverOK:
+		return "ok"
+	case DeliverCorrupt:
+		return "corrupt"
+	case DeliverDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("Delivery(%d)", int(d))
+	}
+}
+
+// Outage is a window of transfer sequence numbers [Start, End) during
+// which every transfer is dropped — a modeled link blackout.
+type Outage struct {
+	Start, End int64
+}
+
+// Contains reports whether transfer number seq falls in the window.
+func (o Outage) Contains(seq int64) bool { return seq >= o.Start && seq < o.End }
+
+// FaultConfig parameterizes injected link faults. The zero value is a
+// perfect link.
+type FaultConfig struct {
+	// Seed drives the per-transfer dice; the same seed replays the same
+	// fault sequence.
+	Seed uint64
+	// CorruptProb is the probability a transfer arrives bit-flipped.
+	CorruptProb float64
+	// DropProb is the probability a transfer is lost outright.
+	DropProb float64
+	// Outages lists blackout windows in transfer sequence numbers.
+	Outages []Outage
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (c FaultConfig) Enabled() bool {
+	return c.CorruptProb > 0 || c.DropProb > 0 || len(c.Outages) > 0
+}
+
+// Validate rejects probabilities outside [0, 1] and inverted windows.
+func (c FaultConfig) Validate() error {
+	if c.CorruptProb < 0 || c.CorruptProb > 1 {
+		return fmt.Errorf("netsim: corrupt probability %v outside [0,1]", c.CorruptProb)
+	}
+	if c.DropProb < 0 || c.DropProb > 1 {
+		return fmt.Errorf("netsim: drop probability %v outside [0,1]", c.DropProb)
+	}
+	if c.CorruptProb+c.DropProb > 1 {
+		return fmt.Errorf("netsim: corrupt+drop probability %v exceeds 1", c.CorruptProb+c.DropProb)
+	}
+	for _, o := range c.Outages {
+		if o.End <= o.Start || o.Start < 0 {
+			return fmt.Errorf("netsim: bad outage window [%d,%d)", o.Start, o.End)
+		}
+	}
+	return nil
+}
+
+// LinkStats counts what the lossy link did to the traffic so far.
+type LinkStats struct {
+	Transfers   int64
+	Corrupted   int64
+	Dropped     int64 // random losses
+	OutageDrops int64 // losses inside an outage window
+}
+
+// LossyLink injects faults into transfers over an Uplink. It is
+// deterministic for a given FaultConfig.Seed: the n-th call to Transmit
+// always yields the same outcome.
+type LossyLink struct {
+	Link  Uplink
+	Cfg   FaultConfig
+	Stats LinkStats
+
+	rng *tensor.RNG
+	seq int64
+}
+
+// NewLossyLink builds a seeded lossy link; it panics on an invalid
+// config (programming error, like the Uplink bandwidth check).
+func NewLossyLink(link Uplink, cfg FaultConfig) *LossyLink {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &LossyLink{Link: link, Cfg: cfg, rng: tensor.NewRNG(cfg.Seed)}
+}
+
+// Transmit advances the transfer sequence and rolls the fault dice for a
+// payload of n bytes. Outage windows override the probabilistic faults.
+func (l *LossyLink) Transmit(n int64) Delivery {
+	seq := l.seq
+	l.seq++
+	l.Stats.Transfers++
+	for _, o := range l.Cfg.Outages {
+		if o.Contains(seq) {
+			l.Stats.OutageDrops++
+			return DeliverDrop
+		}
+	}
+	// One draw decides the outcome so corrupt/drop stay mutually
+	// exclusive and the sequence is replayable.
+	u := l.rng.Float64()
+	switch {
+	case u < l.Cfg.DropProb:
+		l.Stats.Dropped++
+		return DeliverDrop
+	case u < l.Cfg.DropProb+l.Cfg.CorruptProb:
+		l.Stats.Corrupted++
+		return DeliverCorrupt
+	default:
+		return DeliverOK
+	}
+}
+
+// CorruptPayload flips a few bytes of p in place, simulating the bit
+// errors of a DeliverCorrupt outcome. The flip positions come from the
+// link's seeded RNG, so corruption patterns replay too.
+func (l *LossyLink) CorruptPayload(p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	flips := 1 + l.rng.Intn(3)
+	for i := 0; i < flips; i++ {
+		p[l.rng.Intn(len(p))] ^= byte(1 + l.rng.Intn(255))
+	}
+}

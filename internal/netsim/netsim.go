@@ -41,12 +41,22 @@ func (u Uplink) TransferEnergy(n int64) float64 {
 }
 
 // Meter accumulates uplink usage for one node or one experiment stage.
+// Retransmissions (repeat deliveries after a drop or a corrupted
+// transfer) are accounted separately so the fault-free data-movement
+// series of Table II stays comparable while the extra cost of an
+// imperfect link remains visible.
 type Meter struct {
 	Link    Uplink
 	Bytes   int64
 	Items   int64
 	Seconds float64
 	Joules  float64
+	// Retransmits counts repeat deliveries; RetransmitBytes and
+	// RetransmitJoules/RetransmitSeconds are their byte/energy/time cost.
+	Retransmits      int64
+	RetransmitBytes  int64
+	RetransmitSecs   float64
+	RetransmitJoules float64
 }
 
 // NewMeter returns a meter over the given link.
@@ -68,7 +78,19 @@ func (m *Meter) UploadItems(n, items int64) {
 	m.Joules += m.Link.TransferEnergy(n)
 }
 
+// Retransmit records re-sending n bytes after a failed delivery.
+func (m *Meter) Retransmit(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("netsim: negative retransmit %d", n))
+	}
+	m.Retransmits++
+	m.RetransmitBytes += n
+	m.RetransmitSecs += m.Link.TransferTime(n)
+	m.RetransmitJoules += m.Link.TransferEnergy(n)
+}
+
 // Reset clears the meter's accumulators (the link is kept).
 func (m *Meter) Reset() {
 	m.Bytes, m.Items, m.Seconds, m.Joules = 0, 0, 0, 0
+	m.Retransmits, m.RetransmitBytes, m.RetransmitSecs, m.RetransmitJoules = 0, 0, 0, 0
 }

@@ -88,7 +88,8 @@ func DiagnosisTime(sim *gpusim.Sim, diag models.NetSpec, batch int) float64 {
 
 // Run simulates one day/night cycle.
 func Run(cfg Config) Report {
-	if cfg.Sim == nil || cfg.FrameRate <= 0 || cfg.LatencyReq <= 0 || cfg.DaySeconds <= 0 {
+	if cfg.Sim == nil || cfg.FrameRate <= 0 || cfg.LatencyReq <= 0 ||
+		cfg.DaySeconds <= 0 || cfg.NightSeconds <= 0 {
 		panic(fmt.Sprintf("node: invalid config %+v", cfg))
 	}
 	rep := Report{}
@@ -217,7 +218,16 @@ func Run(cfg Config) Report {
 		}
 		dt := DiagnosisTime(cfg.Sim, cfg.Diagnosis, n)
 		if nightUsed+dt > cfg.NightSeconds {
-			break
+			// The full batch overruns the night window: shrink the final
+			// batch to the largest size that still fits, instead of
+			// stranding frames a smaller tail batch could drain.
+			for n > 1 && nightUsed+dt > cfg.NightSeconds {
+				n--
+				dt = DiagnosisTime(cfg.Sim, cfg.Diagnosis, n)
+			}
+			if nightUsed+dt > cfg.NightSeconds {
+				break
+			}
 		}
 		nightUsed += dt
 		backlog -= n

@@ -143,3 +143,55 @@ func TestLowRateTimeoutDispatch(t *testing.T) {
 		t.Fatalf("timeout dispatch not happening: %d batches for %d frames", rep.Batches, rep.Frames)
 	}
 }
+
+func TestNightTailBatchShrinksToFit(t *testing.T) {
+	// 200 frames, batch 100: the night window fits one full batch plus
+	// roughly half of another. The final batch must shrink to drain what
+	// fits instead of stranding the whole second batch.
+	cfg := baseConfig()
+	cfg.FrameRate = 20
+	cfg.DaySeconds = 10
+	cfg.DiagnosisBatch = 100
+	dt100 := DiagnosisTime(cfg.Sim, cfg.Diagnosis, 100)
+	dt50 := DiagnosisTime(cfg.Sim, cfg.Diagnosis, 50)
+	cfg.NightSeconds = dt100 + dt50 + 1e-9
+	rep := Run(cfg)
+	if rep.Frames != 200 {
+		t.Fatalf("frames = %d", rep.Frames)
+	}
+	if rep.DiagnosedFrames <= 100 {
+		t.Fatalf("tail batch stranded: diagnosed %d of %d", rep.DiagnosedFrames, rep.Frames)
+	}
+	if rep.DiagnosedFrames+rep.Backlog != rep.Frames {
+		t.Fatalf("accounting broken: %d + %d != %d", rep.DiagnosedFrames, rep.Backlog, rep.Frames)
+	}
+	if rep.DiagnosisBusy > cfg.NightSeconds {
+		t.Fatalf("night overran: busy %v of %v", rep.DiagnosisBusy, cfg.NightSeconds)
+	}
+}
+
+func TestNightWindowFullyDrainsWithTail(t *testing.T) {
+	// A window sized for one full batch plus the exact 60-frame tail must
+	// drain everything.
+	cfg := baseConfig()
+	cfg.FrameRate = 16
+	cfg.DaySeconds = 10 // 160 frames
+	cfg.DiagnosisBatch = 100
+	cfg.NightSeconds = DiagnosisTime(cfg.Sim, cfg.Diagnosis, 100) +
+		DiagnosisTime(cfg.Sim, cfg.Diagnosis, 60) + 1e-9
+	rep := Run(cfg)
+	if rep.Backlog != 0 || rep.DiagnosedFrames != 160 {
+		t.Fatalf("tail not drained: diagnosed %d, backlog %d", rep.DiagnosedFrames, rep.Backlog)
+	}
+}
+
+func TestZeroNightWindowRejected(t *testing.T) {
+	cfg := baseConfig()
+	cfg.NightSeconds = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero night window accepted: a no-diagnosis cycle would silently pass")
+		}
+	}()
+	Run(cfg)
+}

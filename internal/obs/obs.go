@@ -12,8 +12,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"insitu/internal/core"
+	"insitu/internal/netsim"
 	"insitu/internal/nn"
 	"insitu/internal/node"
 	"insitu/internal/planner"
@@ -21,15 +24,22 @@ import (
 	"insitu/internal/tensor"
 )
 
-// Flags holds the shared observability flag values; register them with
-// AddFlags before flag.Parse.
+// Flags holds the shared observability and fault-injection flag values;
+// register them with AddFlags before flag.Parse.
 type Flags struct {
 	Telemetry bool
 	TraceOut  string
 	PprofAddr string
+	// FaultRate is the per-transfer fault probability on the Cloud→node
+	// downlink, split evenly between corruption and drops.
+	FaultRate float64
+	// Outage is a "START:END" transfer-sequence window during which every
+	// downlink delivery is lost.
+	Outage string
 }
 
-// AddFlags registers -telemetry, -trace-out and -pprof-addr on fs.
+// AddFlags registers -telemetry, -trace-out, -pprof-addr, -fault-rate
+// and -outage on fs.
 func (f *Flags) AddFlags(fs *flag.FlagSet) {
 	fs.BoolVar(&f.Telemetry, "telemetry", false,
 		"enable counters/histograms and print a Prometheus-style dump to stderr on exit")
@@ -37,6 +47,33 @@ func (f *Flags) AddFlags(fs *flag.FlagSet) {
 		"write JSONL trace events (stages, uploads, plans, dispatches) to this file; implies -telemetry")
 	fs.StringVar(&f.PprofAddr, "pprof-addr", "",
 		"serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address (e.g. :6060); implies -telemetry")
+	fs.Float64Var(&f.FaultRate, "fault-rate", 0,
+		"inject per-transfer faults on the Cloud→node downlink with this probability in [0,1] (half corruption, half drops)")
+	fs.StringVar(&f.Outage, "outage", "",
+		"drop every downlink delivery in this START:END transfer-sequence window (e.g. 2:5)")
+}
+
+// Faults converts the fault-injection flags into a netsim.FaultConfig
+// seeded from the simulation seed, so fault sequences replay with runs.
+func (f Flags) Faults(seed uint64) (netsim.FaultConfig, error) {
+	cfg := netsim.FaultConfig{
+		Seed:        seed,
+		CorruptProb: f.FaultRate / 2,
+		DropProb:    f.FaultRate / 2,
+	}
+	if f.Outage != "" {
+		start, end, ok := strings.Cut(f.Outage, ":")
+		a, errA := strconv.ParseInt(strings.TrimSpace(start), 10, 64)
+		b, errB := strconv.ParseInt(strings.TrimSpace(end), 10, 64)
+		if !ok || errA != nil || errB != nil {
+			return netsim.FaultConfig{}, fmt.Errorf("obs: bad -outage %q (want START:END)", f.Outage)
+		}
+		cfg.Outages = []netsim.Outage{{Start: a, End: b}}
+	}
+	if err := cfg.Validate(); err != nil {
+		return netsim.FaultConfig{}, err
+	}
+	return cfg, nil
 }
 
 // Session is the live observability state for one command run.

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"insitu/internal/core"
+	"insitu/internal/netsim"
 	"insitu/internal/nn"
 	"insitu/internal/node"
 	"insitu/internal/planner"
@@ -97,5 +98,51 @@ func TestAddFlagsRegistersAll(t *testing.T) {
 	}
 	if !f.Enabled() {
 		t.Fatal("Enabled() = false")
+	}
+}
+
+func TestFaultFlagsParse(t *testing.T) {
+	var f Flags
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f.AddFlags(fs)
+	if err := fs.Parse([]string{"-fault-rate", "0.4", "-outage", "2:5"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := f.Faults(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 99 || cfg.CorruptProb != 0.2 || cfg.DropProb != 0.2 {
+		t.Fatalf("fault config %+v", cfg)
+	}
+	if len(cfg.Outages) != 1 || cfg.Outages[0] != (netsim.Outage{Start: 2, End: 5}) {
+		t.Fatalf("outage window %+v", cfg.Outages)
+	}
+	if !cfg.Enabled() {
+		t.Fatal("parsed faults not enabled")
+	}
+}
+
+func TestFaultFlagsZeroValueIsPerfectLink(t *testing.T) {
+	cfg, err := Flags{}.Faults(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Enabled() {
+		t.Fatalf("no flags should mean a perfect link: %+v", cfg)
+	}
+}
+
+func TestFaultFlagsRejectBadValues(t *testing.T) {
+	for _, f := range []Flags{
+		{FaultRate: -0.5},
+		{FaultRate: 1.5},
+		{Outage: "five:six"},
+		{Outage: "7"},
+		{Outage: "9:4"},
+	} {
+		if _, err := f.Faults(1); err == nil {
+			t.Fatalf("bad flags accepted: %+v", f)
+		}
 	}
 }
