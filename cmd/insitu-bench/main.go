@@ -6,7 +6,8 @@
 //
 // Experiment ids: table1, fig5, fig6, fig7, fig11, fig12, fig14, fig15,
 // fig16, fig21, fig22, fig23, table2, fig25, abl-split, abl-threshold,
-// abl-perms, abl-pipeline, abl-drift, abl-quant, abl-faults, all.
+// abl-perms, abl-pipeline, abl-drift, abl-quant, abl-faults, abl-crash,
+// all.
 //
 // -fault-rate / -outage inject downlink faults into every closed-loop
 // experiment; abl-faults additionally sweeps the fault rate itself.
@@ -121,6 +122,7 @@ func main() {
 		"abl-drift":     func() *metrics.Table { return experiments.AblationDrift(sysScale).Table() },
 		"abl-quant":     func() *metrics.Table { return experiments.AblationQuant(scale).Table() },
 		"abl-faults":    func() *metrics.Table { return experiments.AblationFaults(sysScale).Table() },
+		"abl-crash":     func() *metrics.Table { return experiments.AblationCrash(sysScale).Table() },
 	}
 
 	ids := []string{*exp}

@@ -15,20 +15,30 @@
 // deploy deliveries and -outage 1:3 blacks out a transfer window; the
 // node retries with backoff, rolls back failed applies and keeps serving
 // its previous model when a deployment never lands.
+//
+// Durability: -state-dir DIR writes a crash-safe snapshot (system state
+// plus report history) after every -ckpt-every stages; -resume restarts
+// from the latest good snapshot and finishes with output byte-identical
+// to an uninterrupted run. -kill-after-stage N SIGKILLs the process
+// right after stage N checkpoints — the deterministic crash used by
+// `make crash-smoke`.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"insitu/internal/ckpt"
 	"insitu/internal/core"
 	"insitu/internal/device"
 	"insitu/internal/gpusim"
 	"insitu/internal/metrics"
 	"insitu/internal/models"
+	"insitu/internal/node"
 	"insitu/internal/obs"
 	"insitu/internal/planner"
 )
@@ -41,6 +51,8 @@ func main() {
 	classes := flag.Int("classes", 5, "object classes in the synthetic world")
 	severity := flag.Float64("severity", 0.7, "in-situ condition severity [0,1]")
 	latencyReq := flag.Float64("latency-req", 0.2, "per-frame latency requirement (s) for the serving plan")
+	killAfter := flag.Int("kill-after-stage", -1,
+		"SIGKILL the process right after this stage's checkpoint lands (crash-injection; needs -state-dir)")
 	var obsFlags obs.Flags
 	obsFlags.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -87,7 +99,42 @@ func main() {
 	cfg.Severity = *severity
 	cfg.Faults = faults
 	cfg.Trace = session.Tracer
-	sys := core.NewSystem(cfg)
+
+	store, err := obsFlags.OpenStore()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "insitu-node:", err)
+		os.Exit(1)
+	}
+	if *killAfter >= 0 && store == nil {
+		fmt.Fprintln(os.Stderr, "insitu-node: -kill-after-stage requires -state-dir")
+		os.Exit(2)
+	}
+
+	// Fresh start, or resume from the latest good snapshot. The resumed
+	// system continues the deterministic simulation exactly where the
+	// snapshot left it, so the final output matches an uninterrupted run.
+	var sys *core.System
+	var ckp *node.Checkpointer
+	if obsFlags.Resume {
+		c, rerr := node.ResumeCheckpointer(store, cfg, obsFlags.CkptEvery)
+		switch {
+		case rerr == nil:
+			ckp = c
+			sys = c.System()
+			fmt.Fprintf(os.Stderr, "resumed from %s at stage %d\n", store.Dir(), sys.Stage()-1)
+		case errors.Is(rerr, ckpt.ErrNoSnapshot):
+			fmt.Fprintln(os.Stderr, "no snapshot to resume from; starting fresh")
+		default:
+			fmt.Fprintln(os.Stderr, "insitu-node:", rerr)
+			os.Exit(1)
+		}
+	}
+	if sys == nil {
+		sys = core.NewSystem(cfg)
+		if store != nil {
+			ckp = node.NewCheckpointer(store, sys, obsFlags.CkptEvery)
+		}
+	}
 
 	// Serving-configuration planning: after every deployment the node
 	// re-plans its inference/diagnosis batches for the paper-scale model
@@ -123,13 +170,52 @@ func main() {
 			deployed)
 	}
 
-	fmt.Fprintln(os.Stderr, "bootstrapping...")
-	add(sys.Bootstrap(*bootstrap))
-	replan()
-	for i, n := range stages {
-		fmt.Fprintf(os.Stderr, "stage %d (%d images)...\n", i+1, n)
-		add(sys.RunStage(n))
+	record := func(r core.StageReport) {
+		add(r)
+		if ckp != nil {
+			if err := ckp.OnStage(r); err != nil {
+				fmt.Fprintln(os.Stderr, "insitu-node: checkpoint:", err)
+				os.Exit(1)
+			}
+		}
+		if *killAfter >= 0 && r.Stage == *killAfter {
+			// Crash injection: die the hard way, no cleanup, no flush —
+			// exactly what the checkpoint discipline must survive.
+			fmt.Fprintf(os.Stderr, "crash injection: SIGKILL after stage %d\n", r.Stage)
+			proc, _ := os.FindProcess(os.Getpid())
+			_ = proc.Kill()
+			select {}
+		}
+	}
+
+	// A resumed run re-prints the completed stages from the snapshot's
+	// report history, then continues with the remaining schedule.
+	done := 0
+	if ckp != nil {
+		for _, r := range ckp.History() {
+			add(r)
+		}
+		done = len(ckp.History())
+	}
+	if done == 0 {
+		fmt.Fprintln(os.Stderr, "bootstrapping...")
+		record(sys.Bootstrap(*bootstrap))
 		replan()
+		done = 1
+	}
+	for i := done - 1; i < len(stages); i++ {
+		n := stages[i]
+		fmt.Fprintf(os.Stderr, "stage %d (%d images)...\n", i+1, n)
+		record(sys.RunStage(n))
+		replan()
+	}
+	// Seal the final state when the cadence left the last stages
+	// unsnapshotted.
+	if ckp != nil && len(ckp.History())%ckp.Every != 0 {
+		if err := ckp.Save(); err != nil {
+			fmt.Fprintln(os.Stderr, "insitu-node: checkpoint:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Println(t.String())
 	m := sys.Meter()

@@ -1,0 +1,90 @@
+package ckpt
+
+import (
+	"sync/atomic"
+
+	"insitu/internal/telemetry"
+)
+
+// Durability instrumentation: counters for checkpoint writes/bytes,
+// restore attempts and snapshots skipped as corrupt, plus ckpt.save /
+// ckpt.restore trace events carrying the paths and sizes — the audit
+// trail of the crash-safety story next to the fault counters in
+// internal/core.
+type ckptStats struct {
+	saves         *telemetry.Counter // ckpt_saves_total
+	saveBytes     *telemetry.Counter // ckpt_save_bytes_total
+	saveErrors    *telemetry.Counter // ckpt_save_errors_total
+	restores      *telemetry.Counter // ckpt_restore_attempts_total
+	restored      *telemetry.Counter // ckpt_restores_total
+	corruptSkips  *telemetry.Counter // ckpt_corrupt_snapshots_skipped_total
+	restoredBytes *telemetry.Counter // ckpt_restore_bytes_total
+}
+
+var (
+	stats  atomic.Pointer[ckptStats]
+	tracer atomic.Pointer[telemetry.Tracer]
+)
+
+// EnableTelemetry registers the checkpoint counters with reg and turns
+// on their updates; pass nil to disable.
+func EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		stats.Store(nil)
+		return
+	}
+	stats.Store(&ckptStats{
+		saves:         reg.Counter("ckpt_saves_total"),
+		saveBytes:     reg.Counter("ckpt_save_bytes_total"),
+		saveErrors:    reg.Counter("ckpt_save_errors_total"),
+		restores:      reg.Counter("ckpt_restore_attempts_total"),
+		restored:      reg.Counter("ckpt_restores_total"),
+		corruptSkips:  reg.Counter("ckpt_corrupt_snapshots_skipped_total"),
+		restoredBytes: reg.Counter("ckpt_restore_bytes_total"),
+	})
+}
+
+// SetTracer attaches (or, with nil, detaches) the tracer that receives
+// ckpt.save / ckpt.restore events.
+func SetTracer(t *telemetry.Tracer) { tracer.Store(t) }
+
+func countSave(seq uint64, bytes int64, path string) {
+	if st := stats.Load(); st != nil {
+		st.saves.Inc()
+		st.saveBytes.Add(bytes)
+	}
+	tracer.Load().Emit("ckpt.save", telemetry.Attrs{
+		"seq": seq, "bytes": bytes, "path": path,
+	})
+}
+
+func countSaveError() {
+	if st := stats.Load(); st != nil {
+		st.saveErrors.Inc()
+	}
+}
+
+func countRestoreAttempt() {
+	if st := stats.Load(); st != nil {
+		st.restores.Inc()
+	}
+}
+
+func countRestore(path string, bytes int64, skipped int) {
+	if st := stats.Load(); st != nil {
+		st.restored.Inc()
+		st.restoredBytes.Add(bytes)
+	}
+	tracer.Load().Emit("ckpt.restore", telemetry.Attrs{
+		"path": path, "bytes": bytes, "skipped_corrupt": skipped,
+	})
+}
+
+func countCorruptSkip(path string, err error) {
+	if st := stats.Load(); st != nil {
+		st.corruptSkips.Inc()
+	}
+	tracer.Load().Emit("ckpt.skip", telemetry.Attrs{
+		"path": path, "error": err.Error(),
+	})
+}

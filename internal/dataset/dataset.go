@@ -113,6 +113,14 @@ func NewGenerator(classes int, seed uint64) *Generator {
 	return g
 }
 
+// RNGState exposes the sample stream position for checkpointing: a
+// generator restored with SetRNGState produces the same capture sequence
+// an uninterrupted generator would.
+func (g *Generator) RNGState() uint64 { return g.rng.State() }
+
+// SetRNGState rewinds the sample stream to a saved position.
+func (g *Generator) SetRNGState(s uint64) { g.rng.SetState(s) }
+
 // Ideal renders one sample of a uniformly random class under ideal
 // conditions.
 func (g *Generator) Ideal() Sample {

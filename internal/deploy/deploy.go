@@ -26,6 +26,13 @@ import (
 // applied.
 var ErrStale = errors.New("deploy: stale bundle version")
 
+// ErrNonFinite marks a bundle carrying NaN/Inf weights or threshold. A
+// CRC proves the bytes survived the downlink, not that the model is
+// sane: a diverged Cloud-side training run (or a corrupt checkpoint that
+// happens to checksum) must never be served. ApplyAtomic rejects such
+// bundles and leaves the node on its previous model.
+var ErrNonFinite = errors.New("deploy: non-finite model state")
+
 // Bundle is one versioned model deployment.
 type Bundle struct {
 	Version          uint32
@@ -170,6 +177,9 @@ func (b *Bundle) ApplyAtomic(current uint32, inference, jigsaw *nn.Network, diag
 	if b.Version <= current {
 		return fmt.Errorf("%w: bundle v%d, node runs v%d", ErrStale, b.Version, current)
 	}
+	if math.IsNaN(b.Threshold) || math.IsInf(b.Threshold, 0) {
+		return fmt.Errorf("%w: threshold %v", ErrNonFinite, b.Threshold)
+	}
 	var infSnap, jigSnap bytes.Buffer
 	if err := inference.SaveWeights(&infSnap); err != nil {
 		return fmt.Errorf("deploy: snapshotting inference weights: %w", err)
@@ -195,8 +205,30 @@ func (b *Bundle) ApplyAtomic(current uint32, inference, jigsaw *nn.Network, diag
 		}
 		return fmt.Errorf("deploy: applying jigsaw weights (rolled back): %w", err)
 	}
+	// Weight sanity: both loads succeeded and the CRC already passed, but
+	// a corrupt-yet-checksummed model (poisoned at the source) must not be
+	// served. Roll back to the snapshots on any non-finite value.
+	if err := firstNonFinite(inference, jigsaw); err != nil {
+		if rerr := restore(inference, &infSnap); rerr != nil {
+			return fmt.Errorf("deploy: rollback failed (%v) after reject: %w", rerr, err)
+		}
+		if rerr := restore(jigsaw, &jigSnap); rerr != nil {
+			return fmt.Errorf("deploy: rollback failed (%v) after reject: %w", rerr, err)
+		}
+		return fmt.Errorf("%w (rolled back): %v", ErrNonFinite, err)
+	}
 	if diag != nil {
 		diag.SetThreshold(b.Threshold)
+	}
+	return nil
+}
+
+// firstNonFinite returns the first NaN/Inf complaint across the nets.
+func firstNonFinite(nets ...*nn.Network) error {
+	for _, n := range nets {
+		if err := n.CheckFinite(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

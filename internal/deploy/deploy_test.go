@@ -249,6 +249,78 @@ func TestDecodeRejectsEveryByteFlip(t *testing.T) {
 	}
 }
 
+func TestApplyAtomicRejectsNonFiniteThreshold(t *testing.T) {
+	inf := models.TinyAlex(3, 1)
+	jig := jigsaw.NewNet(6, 2)
+	node := models.TinyAlex(3, 9)
+	nodeJig := jigsaw.NewNet(6, 8)
+	set := jigsaw.NewPermSet(6, 3)
+	d := diagnosis.NewJigsawDiagnoser(nodeJig, set, 2, 4)
+	d.SetThreshold(0.25)
+	for _, thr := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		bundle, err := Pack(5, inf, jig, thr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bundle.ApplyAtomic(1, node, nodeJig, d); !errors.Is(err, ErrNonFinite) {
+			t.Fatalf("threshold %v: err = %v, want ErrNonFinite", thr, err)
+		}
+		if d.Threshold() != 0.25 {
+			t.Fatalf("threshold changed after rejected bundle: %v", d.Threshold())
+		}
+	}
+}
+
+func TestApplyAtomicRejectsNonFiniteWeights(t *testing.T) {
+	// A diverged Cloud model: one NaN parameter, but the bundle frames and
+	// checksums fine — the node must refuse it and roll back.
+	inf := models.TinyAlex(3, 1)
+	jig := jigsaw.NewNet(6, 2)
+	inf.Params()[0].Value.Data[5] = float32(math.NaN())
+	bundle, err := Pack(5, inf, jig, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire bytes.Buffer
+	if err := bundle.Encode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(&wire)
+	if err != nil {
+		t.Fatalf("CRC must pass — NaN is not transit corruption: %v", err)
+	}
+
+	node := models.TinyAlex(3, 9)
+	nodeJig := jigsaw.NewNet(6, 8)
+	set := jigsaw.NewPermSet(6, 3)
+	d := diagnosis.NewJigsawDiagnoser(nodeJig, set, 2, 4)
+	d.SetThreshold(0.25)
+	beforeInf := forward(node)
+	beforeJig := append([]float32(nil), nodeJig.Params()[0].Value.Data...)
+
+	if err := decoded.ApplyAtomic(1, node, nodeJig, d); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("NaN weights: err = %v, want ErrNonFinite", err)
+	}
+	afterInf := forward(node)
+	for i := range beforeInf {
+		if beforeInf[i] != afterInf[i] {
+			t.Fatal("inference weights not rolled back after NaN rejection")
+		}
+	}
+	afterJig := nodeJig.Params()[0].Value.Data
+	for i := range beforeJig {
+		if beforeJig[i] != afterJig[i] {
+			t.Fatal("jigsaw weights not rolled back after NaN rejection")
+		}
+	}
+	if err := node.CheckFinite(); err != nil {
+		t.Fatalf("node left with non-finite weights: %v", err)
+	}
+	if d.Threshold() != 0.25 {
+		t.Fatalf("threshold changed after NaN rejection: %v", d.Threshold())
+	}
+}
+
 func TestDecodeRejectsHugeLengthPrefix(t *testing.T) {
 	// Hand-build a frame whose first payload length claims ~4 GiB; with
 	// a valid CRC the length check itself must reject it (and must not

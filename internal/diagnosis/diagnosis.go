@@ -94,6 +94,14 @@ func NewJigsawDiagnoser(net *nn.Network, set *jigsaw.PermSet, probes int, seed u
 	return &JigsawDiagnoser{Net: net, Set: set, Probes: probes, threshold: 0.5, rng: tensor.NewRNG(seed)}
 }
 
+// RNGState exposes the probe RNG position for checkpointing (the
+// current probe schedule is deterministic, but the stream is saved so a
+// future stochastic schedule cannot silently break resume).
+func (d *JigsawDiagnoser) RNGState() uint64 { return d.rng.State() }
+
+// SetRNGState rewinds the probe RNG to a saved position.
+func (d *JigsawDiagnoser) SetRNGState(s uint64) { d.rng.SetState(s) }
+
 // Score implements Diagnoser.
 func (d *JigsawDiagnoser) Score(img *tensor.Tensor) float64 {
 	images := make([]*tensor.Tensor, d.Probes)

@@ -77,6 +77,14 @@ func NewTrainer(net *nn.Network, set *PermSet, lr float32, seed uint64) *Trainer
 	}
 }
 
+// RNGState exposes the permutation-sampling stream position for
+// checkpointing.
+func (t *Trainer) RNGState() uint64 { return t.rng.State() }
+
+// SetRNGState rewinds the permutation-sampling stream to a saved
+// position.
+func (t *Trainer) SetRNGState(s uint64) { t.rng.SetState(s) }
+
 // Step runs one unsupervised training step on a batch of unlabeled
 // images, returning the task loss and accuracy.
 func (t *Trainer) Step(images []*tensor.Tensor) (loss, acc float64) {

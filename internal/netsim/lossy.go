@@ -116,6 +116,28 @@ func NewLossyLink(link Uplink, cfg FaultConfig) *LossyLink {
 	return &LossyLink{Link: link, Cfg: cfg, rng: tensor.NewRNG(cfg.Seed)}
 }
 
+// LinkState is the replayable position of a LossyLink: the transfer
+// sequence number, accumulated stats and the fault-dice RNG position.
+// Restoring it makes the link continue the exact fault sequence an
+// uninterrupted link would have produced.
+type LinkState struct {
+	Seq      int64
+	Stats    LinkStats
+	RNGState uint64
+}
+
+// Snapshot captures the link's current state for checkpointing.
+func (l *LossyLink) Snapshot() LinkState {
+	return LinkState{Seq: l.seq, Stats: l.Stats, RNGState: l.rng.State()}
+}
+
+// Restore rewinds the link to a snapshotted state.
+func (l *LossyLink) Restore(st LinkState) {
+	l.seq = st.Seq
+	l.Stats = st.Stats
+	l.rng.SetState(st.RNGState)
+}
+
 // Transmit advances the transfer sequence and rolls the fault dice for a
 // payload of n bytes. Outage windows override the probabilistic faults.
 func (l *LossyLink) Transmit(n int64) Delivery {

@@ -1,0 +1,207 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"insitu/internal/tensor"
+)
+
+// Crash-safe training state beyond the weights themselves: optimizer
+// momentum and the RNG position of stochastic layers. SaveWeights covers
+// what a model *is*; these cover where a training run *was*, so a killed
+// process can resume mid-run and keep producing bit-identical updates.
+
+const (
+	optMagic   = "ISOS0001" // optimizer (SGD velocity) state
+	layerMagic = "ISLS0001" // stochastic-layer (dropout RNG) state
+)
+
+// SaveState writes the optimizer's velocity for each of params in order.
+// Parameters that have not accumulated velocity yet are recorded as
+// zero, which is behaviorally identical under Step.
+func (s *SGD) SaveState(w io.Writer, params []*Param) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(optMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := writeString(bw, p.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(p.Value.Size())); err != nil {
+			return err
+		}
+		v := s.velocity[p]
+		buf := make([]byte, 4*p.Value.Size())
+		if v != nil {
+			for i, x := range v.Data {
+				binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(x))
+			}
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadState restores velocity previously written by SaveState into the
+// optimizer, matched to params by name and order.
+func (s *SGD) LoadState(r io.Reader, params []*Param) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(optMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("nn: reading optimizer state magic: %w", err)
+	}
+	if string(magic) != optMagic {
+		return fmt.Errorf("nn: bad optimizer state magic %q", magic)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: optimizer state has %d params, want %d", count, len(params))
+	}
+	if s.velocity == nil {
+		s.velocity = make(map[*Param]*tensor.Tensor)
+	}
+	for _, p := range params {
+		name, err := readString(br)
+		if err != nil {
+			return err
+		}
+		if name != p.Name {
+			return fmt.Errorf("nn: optimizer state order mismatch: file has %q, want %q", name, p.Name)
+		}
+		var size uint32
+		if err := binary.Read(br, binary.LittleEndian, &size); err != nil {
+			return err
+		}
+		if int(size) != p.Value.Size() {
+			return fmt.Errorf("nn: optimizer state %q size %d, want %d", name, size, p.Value.Size())
+		}
+		buf := make([]byte, 4*size)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return err
+		}
+		v, ok := s.velocity[p]
+		if !ok {
+			v = tensor.New(p.Value.Shape()...)
+			s.velocity[p] = v
+		}
+		for i := range v.Data {
+			v.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	}
+	return nil
+}
+
+// RNGState exposes the dropout mask stream position for checkpointing.
+func (l *Dropout) RNGState() uint64 { return l.rng.State() }
+
+// SetRNGState rewinds the dropout mask stream to a saved position.
+func (l *Dropout) SetRNGState(s uint64) { l.rng.SetState(s) }
+
+// stochasticLayer is implemented by layers whose forward pass consumes a
+// private random stream; checkpointing must capture the stream position
+// or a resumed training run diverges from an uninterrupted one.
+type stochasticLayer interface {
+	Layer
+	RNGState() uint64
+	SetRNGState(uint64)
+}
+
+// SaveLayerState writes the RNG position of every stochastic layer
+// (currently Dropout). Networks without stochastic layers produce a
+// valid empty record.
+func (n *Network) SaveLayerState(w io.Writer) error {
+	var stoch []stochasticLayer
+	for _, l := range n.Layers {
+		if sl, ok := l.(stochasticLayer); ok {
+			stoch = append(stoch, sl)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(layerMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(stoch))); err != nil {
+		return err
+	}
+	for _, sl := range stoch {
+		if err := writeString(bw, sl.Name()); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, sl.RNGState()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadLayerState restores stochastic-layer RNG positions written by
+// SaveLayerState, matched by layer name.
+func (n *Network) LoadLayerState(r io.Reader) error {
+	byName := make(map[string]stochasticLayer)
+	for _, l := range n.Layers {
+		if sl, ok := l.(stochasticLayer); ok {
+			byName[sl.Name()] = sl
+		}
+	}
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(layerMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("nn: reading layer state magic: %w", err)
+	}
+	if string(magic) != layerMagic {
+		return fmt.Errorf("nn: bad layer state magic %q", magic)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	if int(count) != len(byName) {
+		return fmt.Errorf("nn: layer state has %d stochastic layers, network %q has %d", count, n.Name, len(byName))
+	}
+	for i := uint32(0); i < count; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return err
+		}
+		var state uint64
+		if err := binary.Read(br, binary.LittleEndian, &state); err != nil {
+			return err
+		}
+		sl, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("nn: layer state names unknown layer %q", name)
+		}
+		sl.SetRNGState(state)
+	}
+	return nil
+}
+
+// CheckFinite returns an error naming the first parameter that contains
+// a NaN or Inf value. A model that fails this check must not be served:
+// non-finite weights poison every activation they touch, and a CRC only
+// proves the bytes moved intact, not that they are sane.
+func (n *Network) CheckFinite() error {
+	for _, p := range n.Params() {
+		for i, v := range p.Value.Data {
+			f64 := float64(v)
+			if math.IsNaN(f64) || math.IsInf(f64, 0) {
+				return fmt.Errorf("nn: network %q parameter %q has non-finite value %v at index %d",
+					n.Name, p.Name, v, i)
+			}
+		}
+	}
+	return nil
+}

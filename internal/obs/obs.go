@@ -4,7 +4,8 @@
 // loop), opens the JSONL trace sink, and optionally serves
 // pprof/expvar/metrics over HTTP. The three commands (insitu-bench,
 // insitu-node, insitu-train) share the same -telemetry / -trace-out /
-// -pprof-addr flags through this package.
+// -pprof-addr flags through this package, plus the durability flags
+// (-state-dir / -resume / -ckpt-every) backing crash-safe checkpointing.
 package obs
 
 import (
@@ -15,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"insitu/internal/ckpt"
 	"insitu/internal/core"
 	"insitu/internal/netsim"
 	"insitu/internal/nn"
@@ -36,6 +38,15 @@ type Flags struct {
 	// Outage is a "START:END" transfer-sequence window during which every
 	// downlink delivery is lost.
 	Outage string
+	// StateDir is the crash-safe checkpoint directory; empty disables
+	// checkpointing.
+	StateDir string
+	// Resume restarts from the latest good snapshot in StateDir instead
+	// of starting fresh.
+	Resume bool
+	// CkptEvery is the checkpoint cadence (stages for insitu-node,
+	// fine-tune steps for insitu-train).
+	CkptEvery int
 }
 
 // AddFlags registers -telemetry, -trace-out, -pprof-addr, -fault-rate
@@ -51,6 +62,24 @@ func (f *Flags) AddFlags(fs *flag.FlagSet) {
 		"inject per-transfer faults on the Cloud→node downlink with this probability in [0,1] (half corruption, half drops)")
 	fs.StringVar(&f.Outage, "outage", "",
 		"drop every downlink delivery in this START:END transfer-sequence window (e.g. 2:5)")
+	fs.StringVar(&f.StateDir, "state-dir", "",
+		"write crash-safe checkpoints to this directory (temp+fsync+rename, CRC-framed)")
+	fs.BoolVar(&f.Resume, "resume", false,
+		"resume from the latest good snapshot in -state-dir (falls back to a fresh start when empty)")
+	fs.IntVar(&f.CkptEvery, "ckpt-every", 1,
+		"checkpoint cadence: snapshot every N stages (insitu-node) or N fine-tune steps (insitu-train)")
+}
+
+// OpenStore opens the checkpoint store named by -state-dir, or returns
+// nil when checkpointing is disabled.
+func (f Flags) OpenStore() (*ckpt.Store, error) {
+	if f.StateDir == "" {
+		if f.Resume {
+			return nil, fmt.Errorf("obs: -resume requires -state-dir")
+		}
+		return nil, nil
+	}
+	return ckpt.Open(f.StateDir)
 }
 
 // Faults converts the fault-injection flags into a netsim.FaultConfig
@@ -106,6 +135,7 @@ func Start(f Flags) (*Session, error) {
 	node.EnableTelemetry(s.Registry)
 	planner.EnableTelemetry(s.Registry)
 	core.EnableTelemetry(s.Registry)
+	ckpt.EnableTelemetry(s.Registry)
 
 	if f.TraceOut != "" {
 		file, err := os.Create(f.TraceOut)
@@ -115,6 +145,7 @@ func Start(f Flags) (*Session, error) {
 		s.traceFile = file
 		s.Tracer = telemetry.NewTracer(file)
 		planner.SetTracer(s.Tracer)
+		ckpt.SetTracer(s.Tracer)
 	}
 	if f.PprofAddr != "" {
 		srv, err := telemetry.ServeDebug(f.PprofAddr, s.Registry)
@@ -131,6 +162,7 @@ func Start(f Flags) (*Session, error) {
 // stays out of table/CSV output).
 func (s *Session) Close(w io.Writer) error {
 	planner.SetTracer(nil)
+	ckpt.SetTracer(nil)
 	var firstErr error
 	if s.Tracer != nil {
 		if err := s.Tracer.Flush(); err != nil {

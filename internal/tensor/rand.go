@@ -12,6 +12,16 @@ type RNG struct {
 // NewRNG returns a generator seeded with seed.
 func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 
+// State returns the generator's current position. Together with SetState
+// it lets checkpointing capture and replay the exact random stream: a
+// generator restored with SetState(State()) produces the same sequence
+// as the original from that point on.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState rewinds (or fast-forwards) the generator to a position
+// previously obtained from State.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -1,0 +1,204 @@
+package train
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"insitu/internal/dataset"
+	"insitu/internal/nn"
+)
+
+// Loop is the resumable form of Run: the same minibatch-cycling SGD
+// loop, advanced one step at a time, with the full training state —
+// step index, loss curve, network weights, stochastic-layer RNGs and
+// optimizer momentum — serializable between steps. A loop saved at step
+// k and loaded into a fresh process continues exactly as the original
+// would have: the minibatch schedule is a pure function of the step
+// index, so nothing else needs remembering.
+type Loop struct {
+	Net     *nn.Network
+	Samples []dataset.Sample
+	Cfg     Config
+	// Record > 0 stores the loss every Record steps (as in Run).
+	Record int
+
+	opt  *nn.SGD
+	step int
+	res  Result
+}
+
+const loopMagic = "ISTL0001"
+
+// NewLoop prepares a resumable training loop. The batch-size defaults
+// mirror Run so Run(…) and a step-by-step Loop produce identical
+// results.
+func NewLoop(net *nn.Network, samples []dataset.Sample, cfg Config, record int) *Loop {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.BatchSize > len(samples) {
+		cfg.BatchSize = len(samples)
+	}
+	return &Loop{
+		Net:     net,
+		Samples: samples,
+		Cfg:     cfg,
+		Record:  record,
+		opt:     nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay),
+		res:     Result{Steps: cfg.Steps},
+	}
+}
+
+// Step runs one training step. It returns false — without training —
+// once all Cfg.Steps steps have run.
+func (l *Loop) Step() bool {
+	if l.step >= l.Cfg.Steps {
+		return false
+	}
+	s, n := l.step, len(l.Samples)
+	i0 := (s * l.Cfg.BatchSize) % n
+	i1 := i0 + l.Cfg.BatchSize
+	var batch []dataset.Sample
+	if i1 <= n {
+		batch = l.Samples[i0:i1]
+	} else {
+		batch = append(append([]dataset.Sample(nil), l.Samples[i0:]...), l.Samples[:i1-n]...)
+	}
+	x, labels := dataset.Batch(batch)
+	loss, _ := l.Net.TrainStep(x, labels)
+	l.opt.Step(l.Net.Params())
+	l.res.FinalLoss = loss
+	if l.Record > 0 && s%l.Record == 0 {
+		l.res.LossCurve = append(l.res.LossCurve, loss)
+	}
+	l.step++
+	return true
+}
+
+// StepIndex returns the number of completed steps.
+func (l *Loop) StepIndex() int { return l.step }
+
+// Done reports whether the loop has run all configured steps.
+func (l *Loop) Done() bool { return l.step >= l.Cfg.Steps }
+
+// Result returns the run summary accumulated so far.
+func (l *Loop) Result() Result { return l.res }
+
+// Save serializes the loop position, loss history, network weights,
+// stochastic-layer state and optimizer momentum. The sample set is NOT
+// saved — the caller recreates it deterministically and Load verifies
+// the loop geometry matches.
+func (l *Loop) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(loopMagic); err != nil {
+		return err
+	}
+	hdr := []uint64{
+		uint64(l.step), uint64(l.Cfg.Steps), uint64(l.Cfg.BatchSize),
+		uint64(l.Record), uint64(len(l.Samples)),
+		math.Float64bits(l.res.FinalLoss), uint64(len(l.res.LossCurve)),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, v := range l.res.LossCurve {
+		if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(v)); err != nil {
+			return err
+		}
+	}
+	sections := []func(io.Writer) error{
+		l.Net.SaveWeights,
+		l.Net.SaveLayerState,
+		func(w io.Writer) error { return l.opt.SaveState(w, l.Net.Params()) },
+	}
+	for _, save := range sections {
+		var buf bytes.Buffer
+		if err := save(&buf); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint64(buf.Len())); err != nil {
+			return err
+		}
+		if _, err := bw.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load restores a state written by Save into a freshly constructed Loop
+// over the same (deterministically regenerated) samples and config. It
+// refuses geometry mismatches — a different step budget, batch size or
+// sample count would silently change the minibatch schedule.
+func (l *Loop) Load(r io.Reader) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(loopMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("train: reading loop magic: %w", err)
+	}
+	if string(magic) != loopMagic {
+		return fmt.Errorf("train: bad loop magic %q", magic)
+	}
+	hdr := make([]uint64, 7)
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return err
+		}
+	}
+	check := []struct {
+		name string
+		got  uint64
+		want int
+	}{
+		{"steps", hdr[1], l.Cfg.Steps},
+		{"batch size", hdr[2], l.Cfg.BatchSize},
+		{"record interval", hdr[3], l.Record},
+		{"sample count", hdr[4], len(l.Samples)},
+	}
+	for _, c := range check {
+		if c.got != uint64(c.want) {
+			return fmt.Errorf("train: loop %s is %d in the checkpoint, %d here", c.name, c.got, c.want)
+		}
+	}
+	l.step = int(hdr[0])
+	l.res.FinalLoss = math.Float64frombits(hdr[5])
+	l.res.LossCurve = make([]float64, hdr[6])
+	for i := range l.res.LossCurve {
+		var v uint64
+		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+			return err
+		}
+		l.res.LossCurve[i] = math.Float64frombits(v)
+	}
+	sections := []struct {
+		name string
+		load func(io.Reader) error
+	}{
+		{"weights", l.Net.LoadWeights},
+		{"layer state", l.Net.LoadLayerState},
+		{"optimizer state", func(r io.Reader) error { return l.opt.LoadState(r, l.Net.Params()) }},
+	}
+	for _, sec := range sections {
+		var n uint64
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return err
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return err
+		}
+		if err := sec.load(bytes.NewReader(buf)); err != nil {
+			return fmt.Errorf("train: restoring %s: %w", sec.name, err)
+		}
+	}
+	if err := l.Net.CheckFinite(); err != nil {
+		return fmt.Errorf("train: refusing to resume: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package train
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"insitu/internal/dataset"
+	"insitu/internal/models"
+	"insitu/internal/nn"
+)
+
+func loopFixture() (*nn.Network, []dataset.Sample) {
+	world := dataset.NewGenerator(3, 77)
+	return models.TinyAlex(3, 78), world.MixedSet(48, 0.5, 0.6)
+}
+
+func netCRC(t *testing.T, net *nn.Network) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := net.SaveWeights(&buf); err != nil {
+		t.Fatalf("SaveWeights: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// Run and a stepped Loop must be the same computation.
+func TestLoopMatchesRun(t *testing.T) {
+	cfg := DefaultConfig(12)
+	cfg.BatchSize = 16
+
+	netA, samplesA := loopFixture()
+	resA := Run(netA, samplesA, cfg, 3)
+
+	netB, samplesB := loopFixture()
+	l := NewLoop(netB, samplesB, cfg, 3)
+	for l.Step() {
+	}
+	if !reflect.DeepEqual(resA, l.Result()) {
+		t.Fatalf("Loop result %+v != Run result %+v", l.Result(), resA)
+	}
+	if !bytes.Equal(netCRC(t, netA), netCRC(t, netB)) {
+		t.Fatal("Loop and Run produced different weights")
+	}
+}
+
+// A loop saved at step k and loaded into a freshly built loop must
+// finish with bit-identical weights and loss trajectory.
+func TestLoopSaveLoadMidStep(t *testing.T) {
+	cfg := DefaultConfig(10)
+	cfg.BatchSize = 16
+
+	netA, samplesA := loopFixture()
+	base := NewLoop(netA, samplesA, cfg, 2)
+	for base.Step() {
+	}
+
+	netB, samplesB := loopFixture()
+	l := NewLoop(netB, samplesB, cfg, 2)
+	var snap bytes.Buffer
+	for l.Step() {
+		if l.StepIndex() == 4 {
+			if err := l.Save(&snap); err != nil {
+				t.Fatalf("Save: %v", err)
+			}
+			break
+		}
+	}
+
+	// The crash: everything rebuilt from scratch, state loaded back.
+	netC, samplesC := loopFixture()
+	resumed := NewLoop(netC, samplesC, cfg, 2)
+	if err := resumed.Load(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if resumed.StepIndex() != 4 {
+		t.Fatalf("resumed at step %d, want 4", resumed.StepIndex())
+	}
+	for resumed.Step() {
+	}
+
+	if !reflect.DeepEqual(base.Result(), resumed.Result()) {
+		t.Fatalf("resumed result %+v != uninterrupted %+v", resumed.Result(), base.Result())
+	}
+	if !bytes.Equal(netCRC(t, netA), netCRC(t, netC)) {
+		t.Fatal("resumed weights differ from uninterrupted run")
+	}
+}
+
+// Loading into a loop with different geometry must fail loudly, not
+// silently train a different schedule.
+func TestLoopLoadRejectsGeometryMismatch(t *testing.T) {
+	cfg := DefaultConfig(10)
+	cfg.BatchSize = 16
+	net, samples := loopFixture()
+	l := NewLoop(net, samples, cfg, 2)
+	l.Step()
+	var snap bytes.Buffer
+	if err := l.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := cfg
+	bad.Steps = 99
+	net2, samples2 := loopFixture()
+	if err := NewLoop(net2, samples2, bad, 2).Load(bytes.NewReader(snap.Bytes())); err == nil {
+		t.Fatal("Load accepted a snapshot with a different step budget")
+	}
+}
