@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench-kernels bench-json trace-smoke fault-smoke crash-smoke clean
+.PHONY: check vet build test race race-short bench-smoke bench-kernels bench-json trace-smoke fault-smoke crash-smoke fleet-smoke clean
 
 check: vet build race bench-smoke
 
@@ -21,6 +21,12 @@ test:
 # detector it exceeds go test's default 10m per-package timeout.
 race:
 	$(GO) test -race -timeout 30m ./...
+
+# The CI race gate: -short trims the long learning loops (fleet
+# crash-resume, experiments) to keep the job well under ten minutes
+# while still driving every concurrent code path.
+race-short:
+	$(GO) test -race -short -timeout 20m ./...
 
 # Quick proof that the blocked kernels still run fast and allocation-free:
 # a short -benchtime keeps this under a minute.
@@ -72,7 +78,18 @@ crash-smoke:
 	diff crash-smoke-base.txt crash-smoke-resumed.txt
 	rm -rf crash-smoke-node crash-smoke-base.txt crash-smoke-resumed.txt crash-smoke-state
 
+# Fleet proof: a 4-node concurrent run with one node in permanent
+# blackout and a lossy downlink, traced end to end; the trace must be
+# well-formed and carry the fleet round/upload/deploy events.
+fleet-smoke:
+	$(GO) run ./cmd/insitu-fleet -nodes 4 -bootstrap 24 -rounds 16,16 -classes 4 \
+		-outage-nodes 3 -fault-rate 0.3 -max-round-samples 64 \
+		-trace-out fleet-smoke.jsonl >/dev/null
+	$(GO) run ./cmd/insitu-tracecheck \
+		-require fleet.round,fleet.upload,fleet.deploy fleet-smoke.jsonl
+	rm -f fleet-smoke.jsonl
+
 clean:
-	rm -f trace-smoke.jsonl
+	rm -f trace-smoke.jsonl fleet-smoke.jsonl
 	rm -rf crash-smoke-node crash-smoke-base.txt crash-smoke-resumed.txt crash-smoke-state
 	$(GO) clean ./...

@@ -330,3 +330,27 @@ func BenchmarkAblationFaults(b *testing.B) {
 	b.ReportMetric(ablFaultsRes.Accuracy[0]-ablFaultsRes.Accuracy[n-1], "acc-loss-at-0.6")
 	b.ReportMetric(ablFaultsRes.RetransmitKB[n-1], "retransmit-KB")
 }
+
+var (
+	ablFleetOnce sync.Once
+	ablFleetRes  experiments.FleetResult
+)
+
+// BenchmarkAblationFleet sweeps fleet sizes through the concurrent
+// multi-node deployment: aggregate node throughput should scale with N
+// while the per-node costs stay flat.
+func BenchmarkAblationFleet(b *testing.B) {
+	scale := experiments.PaperFleet
+	if testing.Short() {
+		scale = experiments.SmallFleet
+	}
+	ablFleetOnce.Do(func() { ablFleetRes = experiments.AblationFleet(scale) })
+	printTable("ablation-fleet", ablFleetRes.Table().String())
+	for i := 0; i < b.N; i++ {
+		_ = ablFleetRes.Table().String()
+	}
+	last := ablFleetRes.Rows[len(ablFleetRes.Rows)-1]
+	b.ReportMetric(float64(last.Nodes), "max-nodes")
+	b.ReportMetric(last.Speedup, "speedup-at-max-N")
+	b.ReportMetric(last.Throughput, "imgs/s-at-max-N")
+}

@@ -7,7 +7,9 @@
 // Experiment ids: table1, fig5, fig6, fig7, fig11, fig12, fig14, fig15,
 // fig16, fig21, fig22, fig23, table2, fig25, abl-split, abl-threshold,
 // abl-perms, abl-pipeline, abl-drift, abl-quant, abl-faults, abl-crash,
-// all.
+// abl-fleet, all. -exp also accepts a comma-separated list; ids run in
+// sorted order regardless of how they were given, so the -json report is
+// ordered deterministically.
 //
 // -fault-rate / -outage inject downlink faults into every closed-loop
 // experiment; abl-faults additionally sweeps the fault rate itself.
@@ -54,7 +56,7 @@ type benchReport struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (or 'all')")
+	exp := flag.String("exp", "all", "experiment id, comma-separated list, or 'all'")
 	scaleName := flag.String("scale", "paper", "learning-experiment scale: small or paper")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	jsonPath := flag.String("json", "", "also write a BENCH json record (wall time and bytes allocated per experiment) to this path")
@@ -64,11 +66,13 @@ func main() {
 
 	scale := experiments.Paper
 	sysScale := experiments.PaperSystem
+	fleetScale := experiments.PaperFleet
 	switch *scaleName {
 	case "paper":
 	case "small":
 		scale = experiments.Small
 		sysScale = experiments.SmallSystem
+		fleetScale = experiments.SmallFleet
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
 		os.Exit(2)
@@ -82,6 +86,7 @@ func main() {
 	// Injected faults apply to every closed-loop experiment's deploy path
 	// (table2, fig25, abl-drift and the abl-faults baseline sweep).
 	sysScale.Faults = faults
+	fleetScale.Faults = faults
 
 	session, err := obs.Start(obsFlags)
 	if err != nil {
@@ -123,16 +128,28 @@ func main() {
 		"abl-quant":     func() *metrics.Table { return experiments.AblationQuant(scale).Table() },
 		"abl-faults":    func() *metrics.Table { return experiments.AblationFaults(sysScale).Table() },
 		"abl-crash":     func() *metrics.Table { return experiments.AblationCrash(sysScale).Table() },
+		"abl-fleet":     func() *metrics.Table { return experiments.AblationFleet(fleetScale).Table() },
 	}
 
-	ids := []string{*exp}
+	// Resolve -exp into a sorted, deduplicated id list: the report's
+	// Results array (and the tables on stdout) come out in the same order
+	// however the ids were spelled.
+	var ids []string
 	if *exp == "all" {
-		ids = ids[:0]
 		for id := range runners {
 			ids = append(ids, id)
 		}
-		sort.Strings(ids)
+	} else {
+		seen := map[string]bool{}
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			if id != "" && !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
 	}
+	sort.Strings(ids)
 	report := benchReport{
 		Schema:     "insitu-bench/v1",
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),

@@ -1,0 +1,59 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Report-history framing shared by the node and fleet checkpointers:
+// a caller-chosen magic, a u64 length, then the history as JSON,
+// followed (outside this helper) by the binary system snapshot. JSON is
+// deliberate — the history is the byte-compared experiment output, so
+// persisting it in its output encoding guarantees a resumed run cannot
+// re-encode it differently.
+
+// WriteHistory frames history onto w under the given magic.
+func WriteHistory(w io.Writer, magic string, history any) error {
+	if _, err := io.WriteString(w, magic); err != nil {
+		return err
+	}
+	buf, err := json.Marshal(history)
+	if err != nil {
+		return fmt.Errorf("ckpt: encoding report history: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(buf))); err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadHistory reads one WriteHistory frame into history (a pointer to
+// the slice type the writer passed), leaving r positioned at whatever
+// followed the frame.
+func ReadHistory(r io.Reader, magic string, history any) error {
+	m := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, m); err != nil {
+		return fmt.Errorf("ckpt: reading history magic: %w", err)
+	}
+	if string(m) != magic {
+		return fmt.Errorf("ckpt: bad history magic %q (want %q)", m, magic)
+	}
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	if n > maxBlob {
+		return fmt.Errorf("ckpt: implausible history size %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(buf, history); err != nil {
+		return fmt.Errorf("ckpt: decoding report history: %w", err)
+	}
+	return nil
+}

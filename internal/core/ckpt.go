@@ -8,10 +8,10 @@ import (
 	"io"
 	"math"
 
+	"insitu/internal/ckpt"
 	"insitu/internal/dataset"
 	"insitu/internal/models"
 	"insitu/internal/netsim"
-	"insitu/internal/tensor"
 )
 
 // Crash-safe persistence of the closed loop. Checkpoint serializes the
@@ -45,7 +45,7 @@ func (s *System) Checkpoint(w io.Writer) error {
 	fp := []uint64{
 		uint64(s.Cfg.Kind), uint64(s.Cfg.Classes), uint64(s.Cfg.PermClasses),
 		uint64(s.Cfg.SharedConvs), uint64(s.Cfg.Probes), s.Cfg.Seed,
-		boolU64(s.Cfg.FrozenModel), boolU64(s.downlink != nil),
+		ckpt.BoolU64(s.Cfg.FrozenModel), ckpt.BoolU64(s.downlink != nil),
 	}
 	for _, v := range fp {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
@@ -53,14 +53,14 @@ func (s *System) Checkpoint(w io.Writer) error {
 		}
 	}
 	// Progression and environment.
-	if err := writeU64s(bw,
+	if err := ckpt.WriteU64s(bw,
 		uint64(s.stage), uint64(s.cloudVersion), uint64(s.nodeVersion),
 		math.Float64bits(s.Cfg.Severity), math.Float64bits(s.Cfg.InSituFrac),
 	); err != nil {
 		return err
 	}
 	// RNG positions.
-	if err := writeU64s(bw,
+	if err := ckpt.WriteU64s(bw,
 		s.gen.RNGState(), s.jigTr.RNGState(), s.rng.State(),
 		s.cloudDiag.RNGState(), s.diag.RNGState(),
 	); err != nil {
@@ -68,7 +68,7 @@ func (s *System) Checkpoint(w io.Writer) error {
 	}
 	// Optimizer hyperparameter mutated at runtime (bootstrap lowers it)
 	// and the calibrated thresholds.
-	if err := writeU64s(bw,
+	if err := ckpt.WriteU64s(bw,
 		uint64(math.Float32bits(s.jigTr.Opt.LR)),
 		math.Float64bits(s.cloudDiag.Threshold()),
 		math.Float64bits(s.diag.Threshold()),
@@ -78,20 +78,20 @@ func (s *System) Checkpoint(w io.Writer) error {
 	// The four networks, their stochastic-layer state, and the persistent
 	// optimizer's momentum.
 	for _, net := range s.nets() {
-		if err := writeBlob(bw, net.SaveWeights); err != nil {
+		if err := ckpt.WriteBlob(bw, net.SaveWeights); err != nil {
 			return err
 		}
-		if err := writeBlob(bw, net.SaveLayerState); err != nil {
+		if err := ckpt.WriteBlob(bw, net.SaveLayerState); err != nil {
 			return err
 		}
 	}
-	if err := writeBlob(bw, func(w io.Writer) error {
+	if err := ckpt.WriteBlob(bw, func(w io.Writer) error {
 		return s.jigTr.Opt.SaveState(w, s.cloudJig.Params())
 	}); err != nil {
 		return err
 	}
 	// Uplink meter accumulators.
-	if err := writeU64s(bw,
+	if err := ckpt.WriteU64s(bw,
 		uint64(s.meter.Bytes), uint64(s.meter.Items),
 		math.Float64bits(s.meter.Seconds), math.Float64bits(s.meter.Joules),
 		uint64(s.meter.Retransmits), uint64(s.meter.RetransmitBytes),
@@ -102,7 +102,7 @@ func (s *System) Checkpoint(w io.Writer) error {
 	// Fault-injected downlink position.
 	if s.downlink != nil {
 		st := s.downlink.Snapshot()
-		if err := writeU64s(bw,
+		if err := ckpt.WriteU64s(bw,
 			uint64(st.Seq), uint64(st.Stats.Transfers), uint64(st.Stats.Corrupted),
 			uint64(st.Stats.Dropped), uint64(st.Stats.OutageDrops), st.RNGState,
 		); err != nil {
@@ -113,19 +113,9 @@ func (s *System) Checkpoint(w io.Writer) error {
 	if err := binary.Write(bw, binary.LittleEndian, uint32(len(s.cloudData))); err != nil {
 		return err
 	}
-	imgFloats := models.ImgChannels * models.ImgSize * models.ImgSize
-	buf := make([]byte, 4*imgFloats)
+	buf := make([]byte, 4*models.ImgChannels*models.ImgSize*models.ImgSize)
 	for _, smp := range s.cloudData {
-		if err := writeU64s(bw, uint64(smp.Label), uint64(smp.Condition)); err != nil {
-			return err
-		}
-		if len(smp.Image.Data) != imgFloats {
-			return fmt.Errorf("core: replay sample has %d floats, want %d", len(smp.Image.Data), imgFloats)
-		}
-		for i, v := range smp.Image.Data {
-			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
-		}
-		if _, err := bw.Write(buf); err != nil {
+		if err := dataset.WriteSample(bw, smp, buf); err != nil {
 			return err
 		}
 	}
@@ -148,13 +138,13 @@ func Resume(cfg Config, r io.Reader) (*System, error) {
 		return nil, fmt.Errorf("core: bad checkpoint magic %q", magic)
 	}
 	fp := make([]uint64, 8)
-	if err := readU64s(br, fp); err != nil {
+	if err := ckpt.ReadU64s(br, fp); err != nil {
 		return nil, err
 	}
 	want := []uint64{
 		uint64(cfg.Kind), uint64(cfg.Classes), uint64(cfg.PermClasses),
 		uint64(cfg.SharedConvs), uint64(cfg.Probes), cfg.Seed,
-		boolU64(cfg.FrozenModel), boolU64(cfg.Faults.Enabled()),
+		ckpt.BoolU64(cfg.FrozenModel), ckpt.BoolU64(cfg.Faults.Enabled()),
 	}
 	names := []string{"kind", "classes", "perm-classes", "shared-convs",
 		"probes", "seed", "frozen-model", "faults-enabled"}
@@ -167,7 +157,7 @@ func Resume(cfg Config, r io.Reader) (*System, error) {
 
 	s := NewSystem(cfg)
 	prog := make([]uint64, 5)
-	if err := readU64s(br, prog); err != nil {
+	if err := ckpt.ReadU64s(br, prog); err != nil {
 		return nil, err
 	}
 	s.stage = int(prog[0])
@@ -180,7 +170,7 @@ func Resume(cfg Config, r io.Reader) (*System, error) {
 	}
 
 	rngs := make([]uint64, 5)
-	if err := readU64s(br, rngs); err != nil {
+	if err := ckpt.ReadU64s(br, rngs); err != nil {
 		return nil, err
 	}
 	s.gen.SetRNGState(rngs[0])
@@ -190,7 +180,7 @@ func Resume(cfg Config, r io.Reader) (*System, error) {
 	s.diag.SetRNGState(rngs[4])
 
 	hyper := make([]uint64, 3)
-	if err := readU64s(br, hyper); err != nil {
+	if err := ckpt.ReadU64s(br, hyper); err != nil {
 		return nil, err
 	}
 	s.jigTr.Opt.LR = math.Float32frombits(uint32(hyper[0]))
@@ -198,21 +188,21 @@ func Resume(cfg Config, r io.Reader) (*System, error) {
 	s.diag.SetThreshold(math.Float64frombits(hyper[2]))
 
 	for _, net := range s.nets() {
-		if err := readBlob(br, net.LoadWeights); err != nil {
+		if err := ckpt.ReadBlob(br, net.LoadWeights); err != nil {
 			return nil, fmt.Errorf("core: restoring %s weights: %w", net.Name, err)
 		}
-		if err := readBlob(br, net.LoadLayerState); err != nil {
+		if err := ckpt.ReadBlob(br, net.LoadLayerState); err != nil {
 			return nil, fmt.Errorf("core: restoring %s layer state: %w", net.Name, err)
 		}
 	}
-	if err := readBlob(br, func(r io.Reader) error {
+	if err := ckpt.ReadBlob(br, func(r io.Reader) error {
 		return s.jigTr.Opt.LoadState(r, s.cloudJig.Params())
 	}); err != nil {
 		return nil, fmt.Errorf("core: restoring optimizer state: %w", err)
 	}
 
 	meter := make([]uint64, 8)
-	if err := readU64s(br, meter); err != nil {
+	if err := ckpt.ReadU64s(br, meter); err != nil {
 		return nil, err
 	}
 	s.meter.Bytes = int64(meter[0])
@@ -226,7 +216,7 @@ func Resume(cfg Config, r io.Reader) (*System, error) {
 
 	if s.downlink != nil {
 		link := make([]uint64, 6)
-		if err := readU64s(br, link); err != nil {
+		if err := ckpt.ReadU64s(br, link); err != nil {
 			return nil, err
 		}
 		s.downlink.Restore(netsim.LinkState{
@@ -243,26 +233,14 @@ func Resume(cfg Config, r io.Reader) (*System, error) {
 	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
 		return nil, err
 	}
-	imgFloats := models.ImgChannels * models.ImgSize * models.ImgSize
-	buf := make([]byte, 4*imgFloats)
+	buf := make([]byte, 4*models.ImgChannels*models.ImgSize*models.ImgSize)
 	s.cloudData = make([]dataset.Sample, 0, count)
 	for i := uint32(0); i < count; i++ {
-		hdr := make([]uint64, 2)
-		if err := readU64s(br, hdr); err != nil {
+		smp, err := dataset.ReadSample(br, buf)
+		if err != nil {
 			return nil, fmt.Errorf("core: restoring replay sample %d: %w", i, err)
 		}
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("core: restoring replay sample %d: %w", i, err)
-		}
-		img := tensor.New(models.ImgChannels, models.ImgSize, models.ImgSize)
-		for j := range img.Data {
-			img.Data[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:]))
-		}
-		s.cloudData = append(s.cloudData, dataset.Sample{
-			Image:     img,
-			Label:     int(int64(hdr[0])),
-			Condition: dataset.Condition(int64(hdr[1])),
-		})
+		s.cloudData = append(s.cloudData, smp)
 	}
 
 	// A checkpoint that decodes cleanly can still carry a poisoned model;
@@ -304,84 +282,4 @@ type nnNet struct {
 	SaveLayerState func(io.Writer) error
 	LoadLayerState func(io.Reader) error
 	CheckFinite    func() error
-}
-
-func boolU64(b bool) uint64 {
-	if b {
-		return 1
-	}
-	return 0
-}
-
-func writeU64s(w io.Writer, vs ...uint64) error {
-	for _, v := range vs {
-		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func readU64s(r io.Reader, dst []uint64) error {
-	for i := range dst {
-		if err := binary.Read(r, binary.LittleEndian, &dst[i]); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// writeBlob frames save's output with a length prefix so the reader can
-// delimit sections without trusting the section codec.
-func writeBlob(w io.Writer, save func(io.Writer) error) error {
-	var buf bytesBuffer
-	if err := save(&buf); err != nil {
-		return err
-	}
-	if err := binary.Write(w, binary.LittleEndian, uint64(len(buf))); err != nil {
-		return err
-	}
-	_, err := w.Write(buf)
-	return err
-}
-
-// readBlob reads one length-prefixed section and hands it to load.
-func readBlob(r io.Reader, load func(io.Reader) error) error {
-	var n uint64
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return err
-	}
-	const maxBlob = 1 << 30
-	if n > maxBlob {
-		return fmt.Errorf("core: implausible checkpoint section size %d", n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return err
-	}
-	return load(newBytesReader(buf))
-}
-
-// bytesBuffer is a minimal append-only writer ([]byte with io.Writer).
-type bytesBuffer []byte
-
-func (b *bytesBuffer) Write(p []byte) (int, error) {
-	*b = append(*b, p...)
-	return len(p), nil
-}
-
-func newBytesReader(b []byte) io.Reader { return &bytesReader{b: b} }
-
-type bytesReader struct {
-	b []byte
-	i int
-}
-
-func (r *bytesReader) Read(p []byte) (int, error) {
-	if r.i >= len(r.b) {
-		return 0, io.EOF
-	}
-	n := copy(p, r.b[r.i:])
-	r.i += n
-	return n, nil
 }

@@ -218,13 +218,13 @@ func TestDefaultConfigSane(t *testing.T) {
 }
 
 func TestCalibTargetBounds(t *testing.T) {
-	if got := calibTarget(0); got != 0.05 {
+	if got := CalibTarget(0); got != 0.05 {
 		t.Fatalf("floor = %v", got)
 	}
-	if got := calibTarget(1); got != 1 {
+	if got := CalibTarget(1); got != 1 {
 		t.Fatalf("cap = %v", got)
 	}
-	if got := calibTarget(0.5); got <= 0.5 || got > 0.7 {
+	if got := CalibTarget(0.5); got <= 0.5 || got > 0.7 {
 		t.Fatalf("mid = %v", got)
 	}
 }

@@ -23,8 +23,6 @@
 package core
 
 import (
-	"bytes"
-	"errors"
 	"fmt"
 
 	"insitu/internal/cloud"
@@ -278,71 +276,47 @@ func (s *System) deployToNode() deployOutcome {
 	bundle, err := deploy.Pack(s.cloudVersion, s.cloudInfer, s.cloudJig, s.cloudDiag.Threshold())
 	if err != nil {
 		// Cloud-side packing failure: nothing was transmitted.
-		out := deployOutcome{failed: true, err: fmt.Errorf("core: packing deployment: %w", err)}
 		countDeployFault(func(st *coreStats) *telemetry.Counter { return st.deployFailures })
-		return out
+		return deployOutcome{failed: true, err: fmt.Errorf("core: packing deployment: %w", err)}
 	}
-	var wire bytes.Buffer
-	if err := bundle.Encode(&wire); err != nil {
-		out := deployOutcome{failed: true, err: fmt.Errorf("core: encoding deployment: %w", err)}
-		countDeployFault(func(st *coreStats) *telemetry.Counter { return st.deployFailures })
-		return out
+	res := deploy.Downlink{
+		Link:        s.downlink,
+		Meter:       s.meter,
+		Retries:     s.Cfg.DeployRetries,
+		BackoffBase: deployBackoffBase,
+		OnFault:     countDeliveryFault,
+	}.Deliver(bundle, deploy.Target{
+		Current:   s.nodeVersion,
+		Inference: s.nodeInfer,
+		Jigsaw:    s.nodeJig,
+		Diag:      s.diag,
+	})
+	s.nodeVersion = res.Version
+	return deployOutcome{
+		bytes:       res.Bytes,
+		attempts:    res.Attempts,
+		retransmits: res.Retransmits,
+		backoff:     res.Backoff,
+		failed:      res.Failed,
+		err:         res.Err,
 	}
-	frame := wire.Bytes()
-	out := deployOutcome{bytes: bundle.Size()}
+}
 
-	retries := s.Cfg.DeployRetries
-	if retries < 1 {
-		retries = 1
+// countDeliveryFault maps the delivery loop's fault taxonomy onto the
+// package's telemetry counters.
+func countDeliveryFault(f deploy.Fault) {
+	switch f {
+	case deploy.FaultRetry:
+		countDeployFault(func(st *coreStats) *telemetry.Counter { return st.deployRetries })
+	case deploy.FaultDrop:
+		countDeployFault(func(st *coreStats) *telemetry.Counter { return st.deployDrops })
+	case deploy.FaultCorrupt:
+		countDeployFault(func(st *coreStats) *telemetry.Counter { return st.deployCorruptions })
+	case deploy.FaultRollback:
+		countDeployFault(func(st *coreStats) *telemetry.Counter { return st.deployRollbacks })
+	case deploy.FaultFailure:
+		countDeployFault(func(st *coreStats) *telemetry.Counter { return st.deployFailures })
 	}
-	for attempt := 1; attempt <= retries; attempt++ {
-		out.attempts = attempt
-		if attempt > 1 {
-			// Redelivery: back off, then pay the transmit cost again.
-			out.backoff += deployBackoffBase * float64(int64(1)<<(attempt-2))
-			s.meter.Retransmit(int64(len(frame)))
-			out.retransmits += int64(len(frame))
-			countDeployFault(func(st *coreStats) *telemetry.Counter { return st.deployRetries })
-		}
-		raw := frame
-		delivery := netsim.DeliverOK
-		if s.downlink != nil {
-			delivery = s.downlink.Transmit(int64(len(frame)))
-		}
-		switch delivery {
-		case netsim.DeliverDrop:
-			out.err = fmt.Errorf("core: bundle v%d lost in transit", bundle.Version)
-			countDeployFault(func(st *coreStats) *telemetry.Counter { return st.deployDrops })
-			continue
-		case netsim.DeliverCorrupt:
-			raw = append([]byte(nil), frame...)
-			s.downlink.CorruptPayload(raw)
-		}
-		received, err := deploy.Decode(bytes.NewReader(raw))
-		if err != nil {
-			// The node's CRC caught the corruption; ask for a redelivery.
-			out.err = fmt.Errorf("core: downlink corrupted: %w", err)
-			countDeployFault(func(st *coreStats) *telemetry.Counter { return st.deployCorruptions })
-			continue
-		}
-		if err := received.ApplyAtomic(s.nodeVersion, s.nodeInfer, s.nodeJig, s.diag); err != nil {
-			// Mid-apply failure rolled the node back to its previous
-			// weights; stale bundles are not retried (a newer one is
-			// already running).
-			out.err = fmt.Errorf("core: applying deployment: %w", err)
-			countDeployFault(func(st *coreStats) *telemetry.Counter { return st.deployRollbacks })
-			if errors.Is(err, deploy.ErrStale) {
-				break
-			}
-			continue
-		}
-		s.nodeVersion = received.Version
-		out.err = nil
-		return out
-	}
-	out.failed = true
-	countDeployFault(func(st *coreStats) *telemetry.Counter { return st.deployFailures })
-	return out
 }
 
 // Meter exposes the node's uplink meter.
@@ -384,7 +358,7 @@ func (s *System) Bootstrap(n int) StageReport {
 	if _, err := transfer.FromUnsupervised(s.cloudInfer, s.cloudJig, s.Cfg.SharedConvs); err != nil {
 		panic(fmt.Sprintf("core: transfer failed: %v", err))
 	}
-	cfg := train.DefaultConfig(stepsFor(len(capture)))
+	cfg := train.DefaultConfig(StepsFor(len(capture)))
 	train.Run(s.cloudInfer, capture, cfg, 0)
 
 	// After the bootstrap, incremental updates use a gentler learning
@@ -396,7 +370,7 @@ func (s *System) Bootstrap(n int) StageReport {
 	// accordingly (bounded below by the configured target's floor); the
 	// threshold ships to the node inside the deployment bundle.
 	errRate := 1 - train.Evaluate(s.cloudInfer, capture)
-	diagnosis.Calibrate(s.cloudDiag, capture, calibTarget(errRate))
+	diagnosis.Calibrate(s.cloudDiag, capture, CalibTarget(errRate))
 	dep := s.deployToNode()
 
 	cost := s.Cfg.Cost.PretrainCost(s.diagSpec, n, 0)
@@ -516,7 +490,7 @@ func (s *System) RunStage(n int) StageReport {
 		// stabilize hard-example-only updates (the Cloud owns all
 		// previously uploaded data).
 		mixed := s.withReplay(trainSet)
-		cfg := train.DefaultConfig(stepsFor(len(mixed)))
+		cfg := train.DefaultConfig(StepsFor(len(mixed)))
 		cfg.LR = 0.005
 		transfer.FineTune(s.cloudInfer, mixed, cfg, locked)
 	}
@@ -528,7 +502,7 @@ func (s *System) RunStage(n int) StageReport {
 	// the upload budget.
 	errRate := 1 - train.Evaluate(s.cloudInfer, calib)
 	prevThr := s.cloudDiag.Threshold()
-	diagnosis.Calibrate(s.cloudDiag, calib, calibTarget(errRate))
+	diagnosis.Calibrate(s.cloudDiag, calib, CalibTarget(errRate))
 	s.cloudDiag.SetThreshold(0.5*prevThr + 0.5*s.cloudDiag.Threshold())
 	dep := s.deployToNode()
 
@@ -578,7 +552,7 @@ func (s *System) trainJigsaw(samples []dataset.Sample, locked int) {
 	if locked > 0 && s.stage > 0 {
 		s.cloudJig.FreezeLayers(prefixes...)
 	}
-	steps := stepsFor(len(images))
+	steps := StepsFor(len(images))
 	const batch = 16
 	for step := 0; step < steps; step++ {
 		i0 := (step * batch) % len(images)
@@ -613,9 +587,10 @@ func (s *System) evaluate() float64 {
 	return train.Evaluate(s.nodeInfer, eval)
 }
 
-// stepsFor scales training steps to the stage's data volume: roughly
-// eight epochs at batch 32, at least 40 steps.
-func stepsFor(n int) int {
+// StepsFor scales training steps to a stage's data volume: roughly
+// eight epochs at batch 32, at least 40 steps. Exported so the fleet
+// server can budget its aggregated retrains with the same rule.
+func StepsFor(n int) int {
 	steps := 8 * n / 32
 	if steps < 40 {
 		steps = 40
@@ -623,10 +598,10 @@ func stepsFor(n int) int {
 	return steps
 }
 
-// calibTarget converts a measured error rate into a diagnosis upload
+// CalibTarget converts a measured error rate into a diagnosis upload
 // budget: upload a bit more than the error rate (to catch most errors)
 // with a floor that keeps the loop alive.
-func calibTarget(errRate float64) float64 {
+func CalibTarget(errRate float64) float64 {
 	t := errRate*1.2 + 0.05
 	if t > 1 {
 		t = 1

@@ -94,6 +94,15 @@ func (b *Bundle) Encode(w io.Writer) error {
 	return binary.Write(w, binary.LittleEndian, crc32.ChecksumIEEE(body.Bytes()))
 }
 
+// EncodeBytes returns the framed wire encoding of the bundle.
+func (b *Bundle) EncodeBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := b.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
 // Decode reads a framed bundle, verifying the magic and checksum.
 func Decode(r io.Reader) (*Bundle, error) {
 	magic := make([]byte, len(bundleMagic))

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+
+	"insitu/internal/cloud"
+	"insitu/internal/core"
+	"insitu/internal/fleet"
+	"insitu/internal/metrics"
+	"insitu/internal/netsim"
+)
+
+// FleetScale sizes the multi-node scaling experiment: the same In-situ
+// AI closed loop run at each fleet size in Sizes, with a fixed per-round
+// admission cap so the server's serialized retrain does not grow with N.
+type FleetScale struct {
+	// Sizes are the fleet sizes N to sweep (first entry is the baseline
+	// the speedups are measured against).
+	Sizes     []int
+	Bootstrap int // per-node bootstrap capture
+	Rounds    []int
+	Classes   int
+	Perms     int
+	Seed      uint64
+	// MaxRoundSamples caps the server's per-round retrain intake.
+	MaxRoundSamples int
+	// Faults injects downlink faults into every deploy path.
+	Faults netsim.FaultConfig
+}
+
+// SmallFleet is the test-suite scale.
+var SmallFleet = FleetScale{
+	Sizes: []int{1, 4, 16}, Bootstrap: 24, Rounds: []int{16},
+	Classes: 3, Perms: 4, Seed: 31, MaxRoundSamples: 48,
+}
+
+// PaperFleet is the benchmark scale (Sec. VI deployment sizes).
+var PaperFleet = FleetScale{
+	Sizes: []int{1, 4, 16, 64}, Bootstrap: 64, Rounds: []int{48, 48},
+	Classes: 5, Perms: 8, Seed: 31, MaxRoundSamples: 128,
+}
+
+// FleetRow is one fleet size's outcome.
+type FleetRow struct {
+	Nodes       int
+	WallSeconds float64
+	// Throughput is aggregate node throughput: images captured and
+	// diagnosed fleet-wide per wall-clock second.
+	Throughput float64
+	// Speedup is Throughput over the baseline (first) size's.
+	Speedup float64
+	// Per-node Table-II-style metrics, averaged over nodes and rounds:
+	// these stay flat as N grows — scaling the fleet must not change any
+	// single node's costs.
+	UploadFrac     float64
+	UplinkJoules   float64
+	PerNodeCloudJ  float64
+	PerNodeCloudS  float64
+	MeanAccuracy   float64 // final round, averaged over nodes
+	AggregateCloud cloud.Cost
+}
+
+// FleetResult carries the scaling sweep.
+type FleetResult struct {
+	Rows []FleetRow
+}
+
+// AblationFleet sweeps fleet sizes through the same schedule and
+// measures aggregate node throughput next to the per-node costs. The
+// per-node columns should be flat across sizes (each node does the same
+// work and pays an amortized share of the one aggregated retrain) while
+// throughput climbs with N until the admission cap's serialized retrain
+// dominates.
+func AblationFleet(s FleetScale) FleetResult {
+	r := FleetResult{}
+	for _, n := range s.Sizes {
+		cfg := fleet.DefaultConfig(core.SystemInSituAI, n, s.Seed)
+		cfg.Classes = s.Classes
+		cfg.PermClasses = s.Perms
+		cfg.MaxRoundSamples = s.MaxRoundSamples
+		cfg.DownlinkFaults = s.Faults
+
+		f := fleet.New(cfg)
+		reps := []fleet.RoundReport{f.Bootstrap(s.Bootstrap)}
+		for _, size := range s.Rounds {
+			reps = append(reps, f.RunRound(size))
+		}
+		wall := f.WallSeconds()
+		f.Close()
+
+		row := FleetRow{Nodes: n, WallSeconds: wall}
+		captured := 0
+		fracN := 0
+		for _, rep := range reps {
+			for _, nr := range rep.Nodes {
+				captured += nr.Captured
+				if nr.Captured > 0 {
+					row.UploadFrac += nr.UploadFrac
+					row.UplinkJoules += nr.UplinkJoules
+					fracN++
+				}
+			}
+			row.PerNodeCloudJ += rep.PerNodeCloudCost.Joules
+			row.PerNodeCloudS += rep.PerNodeCloudCost.Seconds
+			row.AggregateCloud.Add(rep.CloudCost)
+		}
+		if fracN > 0 {
+			row.UploadFrac /= float64(fracN)
+			row.UplinkJoules /= float64(fracN)
+		}
+		row.MeanAccuracy = reps[len(reps)-1].MeanAccuracy
+		if wall > 0 {
+			row.Throughput = float64(captured) / wall
+		}
+		if len(r.Rows) > 0 && r.Rows[0].Throughput > 0 {
+			row.Speedup = row.Throughput / r.Rows[0].Throughput
+		} else {
+			row.Speedup = 1
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return r
+}
+
+// Table renders the sweep. The wall-clock columns vary run to run; the
+// per-node cost columns are deterministic.
+func (r FleetResult) Table() *metrics.Table {
+	t := metrics.NewTable("Ablation — fleet scaling (aggregate throughput vs per-node cost)",
+		"nodes", "wall (s)", "imgs/s", "speedup",
+		"upload frac", "uplink (J)", "cloud/node (J)", "cloud/node (s)", "accuracy")
+	for _, row := range r.Rows {
+		t.AddRow(
+			fmt.Sprintf("%d", row.Nodes),
+			fmt.Sprintf("%.2f", row.WallSeconds),
+			fmt.Sprintf("%.1f", row.Throughput),
+			fmt.Sprintf("%.2fx", row.Speedup),
+			fmt.Sprintf("%.2f", row.UploadFrac),
+			fmt.Sprintf("%.2f", row.UplinkJoules),
+			fmt.Sprintf("%.1f", row.PerNodeCloudJ),
+			fmt.Sprintf("%.2f", row.PerNodeCloudS),
+			fmt.Sprintf("%.2f", row.MeanAccuracy),
+		)
+	}
+	return t
+}

@@ -1,0 +1,353 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"insitu/internal/ckpt"
+	"insitu/internal/dataset"
+	"insitu/internal/models"
+	"insitu/internal/netsim"
+	"insitu/internal/nn"
+)
+
+// Crash-safe persistence of the fleet. Checkpoint serializes the
+// complete mutable state — the server's networks, optimizer momentum,
+// replay pool, RNG positions and thresholds, plus every node's deployed
+// networks, generator/diagnosis RNGs, meter and link positions — so a
+// killed fleet run resumes and finishes with round reports
+// byte-identical to an uninterrupted run's. Checkpoints are only taken
+// at round boundaries, where the workers are quiesced (the
+// round-synchronous protocol guarantees no command is in flight), so no
+// node state can be mid-mutation. Config.RoundTimeout must be 0 when
+// checkpointing: an abandoned straggler could still be running.
+
+const (
+	ckptMagic    = "ISFL0001"
+	historyMagic = "ISFH0001"
+)
+
+// ErrConfigMismatch is returned by Resume when the checkpoint was taken
+// under an incompatible configuration.
+var ErrConfigMismatch = errors.New("fleet: checkpoint config mismatch")
+
+// fingerprint lists the identity-defining configuration as u64s.
+func (f *Fleet) fingerprint() []uint64 {
+	return []uint64{
+		uint64(f.Cfg.Kind), uint64(f.Cfg.Classes), uint64(f.Cfg.PermClasses),
+		uint64(f.Cfg.SharedConvs), uint64(f.Cfg.Probes), f.Cfg.Seed,
+		uint64(f.Cfg.Nodes), uint64(f.Cfg.MaxRoundSamples),
+	}
+}
+
+// Checkpoint writes the fleet's complete mutable state to w. Call only
+// between rounds (never while a round is in flight).
+func (f *Fleet) Checkpoint(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(ckptMagic); err != nil {
+		return err
+	}
+	if err := ckpt.WriteU64s(bw, f.fingerprint()...); err != nil {
+		return err
+	}
+	// Progression and environment.
+	if err := ckpt.WriteU64s(bw,
+		uint64(f.round), uint64(f.cloudVersion),
+		math.Float64bits(f.Cfg.Severity), math.Float64bits(f.Cfg.InSituFrac),
+	); err != nil {
+		return err
+	}
+	// Server RNG positions and runtime-mutated hyperparameters.
+	if err := ckpt.WriteU64s(bw,
+		f.jigTr.RNGState(), f.rng.State(), f.cloudDiag.RNGState(),
+		uint64(math.Float32bits(f.jigTr.Opt.LR)),
+		math.Float64bits(f.cloudDiag.Threshold()),
+	); err != nil {
+		return err
+	}
+	// Server networks and optimizer momentum.
+	for _, net := range []*nn.Network{f.cloudInfer, f.cloudJig} {
+		if err := ckpt.WriteBlob(bw, net.SaveWeights); err != nil {
+			return err
+		}
+		if err := ckpt.WriteBlob(bw, net.SaveLayerState); err != nil {
+			return err
+		}
+	}
+	if err := ckpt.WriteBlob(bw, func(w io.Writer) error {
+		return f.jigTr.Opt.SaveState(w, f.cloudJig.Params())
+	}); err != nil {
+		return err
+	}
+	// The server's replay pool.
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(f.cloudData))); err != nil {
+		return err
+	}
+	buf := make([]byte, 4*models.ImgChannels*models.ImgSize*models.ImgSize)
+	for _, smp := range f.cloudData {
+		if err := dataset.WriteSample(bw, smp, buf); err != nil {
+			return err
+		}
+	}
+	// Every node, in id order.
+	for _, n := range f.nodes {
+		if err := ckpt.WriteU64s(bw,
+			uint64(n.version), n.gen.RNGState(), n.diag.RNGState(),
+			math.Float64bits(n.diag.Threshold()),
+			ckpt.BoolU64(n.uplink != nil), ckpt.BoolU64(n.downlink != nil),
+		); err != nil {
+			return err
+		}
+		if err := ckpt.WriteU64s(bw,
+			uint64(n.meter.Bytes), uint64(n.meter.Items),
+			math.Float64bits(n.meter.Seconds), math.Float64bits(n.meter.Joules),
+			uint64(n.meter.Retransmits), uint64(n.meter.RetransmitBytes),
+			math.Float64bits(n.meter.RetransmitSecs), math.Float64bits(n.meter.RetransmitJoules),
+		); err != nil {
+			return err
+		}
+		for _, link := range []*netsim.LossyLink{n.uplink, n.downlink} {
+			if link == nil {
+				continue
+			}
+			st := link.Snapshot()
+			if err := ckpt.WriteU64s(bw,
+				uint64(st.Seq), uint64(st.Stats.Transfers), uint64(st.Stats.Corrupted),
+				uint64(st.Stats.Dropped), uint64(st.Stats.OutageDrops), st.RNGState,
+			); err != nil {
+				return err
+			}
+		}
+		for _, net := range []*nn.Network{n.infer, n.jig} {
+			if err := ckpt.WriteBlob(bw, net.SaveWeights); err != nil {
+				return err
+			}
+			if err := ckpt.WriteBlob(bw, net.SaveLayerState); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Resume rebuilds a fleet from cfg and a checkpoint stream written by
+// Checkpoint. The returned fleet continues bit-identically to one that
+// was never interrupted.
+func Resume(cfg Config, r io.Reader) (*Fleet, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(ckptMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("fleet: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != ckptMagic {
+		return nil, fmt.Errorf("fleet: bad checkpoint magic %q", magic)
+	}
+	f := New(cfg)
+	ok := false
+	defer func() {
+		if !ok {
+			f.Close()
+		}
+	}()
+
+	want := f.fingerprint()
+	got := make([]uint64, len(want))
+	if err := ckpt.ReadU64s(br, got); err != nil {
+		return nil, err
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return nil, fmt.Errorf("%w: fingerprint field %d is %d, config says %d",
+				ErrConfigMismatch, i, got[i], want[i])
+		}
+	}
+	prog := make([]uint64, 4)
+	if err := ckpt.ReadU64s(br, prog); err != nil {
+		return nil, err
+	}
+	f.round = int(int64(prog[0]))
+	f.cloudVersion = uint32(prog[1])
+	f.Cfg.Severity = math.Float64frombits(prog[2])
+	f.Cfg.InSituFrac = math.Float64frombits(prog[3])
+
+	srv := make([]uint64, 5)
+	if err := ckpt.ReadU64s(br, srv); err != nil {
+		return nil, err
+	}
+	f.jigTr.SetRNGState(srv[0])
+	f.rng.SetState(srv[1])
+	f.cloudDiag.SetRNGState(srv[2])
+	f.jigTr.Opt.LR = math.Float32frombits(uint32(srv[3]))
+	f.cloudDiag.SetThreshold(math.Float64frombits(srv[4]))
+
+	for _, net := range []*nn.Network{f.cloudInfer, f.cloudJig} {
+		if err := ckpt.ReadBlob(br, net.LoadWeights); err != nil {
+			return nil, fmt.Errorf("fleet: restoring server weights: %w", err)
+		}
+		if err := ckpt.ReadBlob(br, net.LoadLayerState); err != nil {
+			return nil, fmt.Errorf("fleet: restoring server layer state: %w", err)
+		}
+	}
+	if err := ckpt.ReadBlob(br, func(r io.Reader) error {
+		return f.jigTr.Opt.LoadState(r, f.cloudJig.Params())
+	}); err != nil {
+		return nil, fmt.Errorf("fleet: restoring optimizer: %w", err)
+	}
+
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 4*models.ImgChannels*models.ImgSize*models.ImgSize)
+	f.cloudData = make([]dataset.Sample, 0, count)
+	for i := uint32(0); i < count; i++ {
+		smp, err := dataset.ReadSample(br, buf)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: restoring replay sample %d: %w", i, err)
+		}
+		f.cloudData = append(f.cloudData, smp)
+	}
+
+	for _, n := range f.nodes {
+		hdr := make([]uint64, 6)
+		if err := ckpt.ReadU64s(br, hdr); err != nil {
+			return nil, fmt.Errorf("fleet: restoring node %d: %w", n.id, err)
+		}
+		n.version = uint32(hdr[0])
+		n.gen.SetRNGState(hdr[1])
+		n.diag.SetRNGState(hdr[2])
+		n.diag.SetThreshold(math.Float64frombits(hdr[3]))
+		if (hdr[4] != 0) != (n.uplink != nil) || (hdr[5] != 0) != (n.downlink != nil) {
+			return nil, fmt.Errorf("%w: node %d link topology differs", ErrConfigMismatch, n.id)
+		}
+		meter := make([]uint64, 8)
+		if err := ckpt.ReadU64s(br, meter); err != nil {
+			return nil, err
+		}
+		n.meter.Bytes = int64(meter[0])
+		n.meter.Items = int64(meter[1])
+		n.meter.Seconds = math.Float64frombits(meter[2])
+		n.meter.Joules = math.Float64frombits(meter[3])
+		n.meter.Retransmits = int64(meter[4])
+		n.meter.RetransmitBytes = int64(meter[5])
+		n.meter.RetransmitSecs = math.Float64frombits(meter[6])
+		n.meter.RetransmitJoules = math.Float64frombits(meter[7])
+		for _, link := range []*netsim.LossyLink{n.uplink, n.downlink} {
+			if link == nil {
+				continue
+			}
+			ls := make([]uint64, 6)
+			if err := ckpt.ReadU64s(br, ls); err != nil {
+				return nil, err
+			}
+			link.Restore(netsim.LinkState{
+				Seq: int64(ls[0]),
+				Stats: netsim.LinkStats{
+					Transfers: int64(ls[1]), Corrupted: int64(ls[2]),
+					Dropped: int64(ls[3]), OutageDrops: int64(ls[4]),
+				},
+				RNGState: ls[5],
+			})
+		}
+		for _, net := range []*nn.Network{n.infer, n.jig} {
+			if err := ckpt.ReadBlob(br, net.LoadWeights); err != nil {
+				return nil, fmt.Errorf("fleet: restoring node %d weights: %w", n.id, err)
+			}
+			if err := ckpt.ReadBlob(br, net.LoadLayerState); err != nil {
+				return nil, fmt.Errorf("fleet: restoring node %d layer state: %w", n.id, err)
+			}
+		}
+	}
+
+	// A checkpoint that decodes cleanly can still carry a poisoned
+	// model; refuse to bring it back to life.
+	nets := []*nn.Network{f.cloudInfer, f.cloudJig}
+	for _, n := range f.nodes {
+		nets = append(nets, n.infer, n.jig)
+	}
+	for _, net := range nets {
+		if err := net.CheckFinite(); err != nil {
+			return nil, fmt.Errorf("fleet: refusing to resume: %w", err)
+		}
+	}
+	ok = true
+	return f, nil
+}
+
+// Checkpointer persists a Fleet plus its round-report history on a
+// fixed cadence — the fleet analogue of node.Checkpointer.
+type Checkpointer struct {
+	Store *ckpt.Store
+	// Every is the snapshot cadence in rounds (1 = after every round).
+	Every int
+
+	fleet   *Fleet
+	history []RoundReport
+}
+
+// NewCheckpointer wraps a live fleet. every < 1 means every round.
+func NewCheckpointer(store *ckpt.Store, fleet *Fleet, every int) *Checkpointer {
+	if every < 1 {
+		every = 1
+	}
+	return &Checkpointer{Store: store, Every: every, fleet: fleet}
+}
+
+// Fleet returns the wrapped (or resumed) fleet.
+func (c *Checkpointer) Fleet() *Fleet { return c.fleet }
+
+// History returns the round reports recorded so far, bootstrap first.
+func (c *Checkpointer) History() []RoundReport { return c.history }
+
+// OnRound records one round's report and snapshots when the cadence
+// hits. Call it after Bootstrap and after every RunRound.
+func (c *Checkpointer) OnRound(rep RoundReport) error {
+	c.history = append(c.history, rep)
+	if len(c.history)%c.Every != 0 {
+		return nil
+	}
+	return c.Save()
+}
+
+// Save writes one snapshot now, regardless of cadence.
+func (c *Checkpointer) Save() error {
+	var buf bytes.Buffer
+	if err := ckpt.WriteHistory(&buf, historyMagic, c.history); err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	if err := c.fleet.Checkpoint(&buf); err != nil {
+		return fmt.Errorf("fleet: checkpointing: %w", err)
+	}
+	_, err := c.Store.Save(buf.Bytes())
+	return err
+}
+
+// ResumeCheckpointer rebuilds a Checkpointer from the store's latest
+// good snapshot. It returns ckpt.ErrNoSnapshot when the store is empty.
+func ResumeCheckpointer(store *ckpt.Store, cfg Config, every int) (*Checkpointer, error) {
+	payload, _, err := store.LoadLatest()
+	if err != nil {
+		return nil, err
+	}
+	r := bytes.NewReader(payload)
+	c := NewCheckpointer(store, nil, every)
+	if err := ckpt.ReadHistory(r, historyMagic, &c.history); err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	fl, err := Resume(cfg, r)
+	if err != nil {
+		return nil, err
+	}
+	if fl.Round() != len(c.history) {
+		fl.Close()
+		return nil, fmt.Errorf("fleet: snapshot has %d reports but fleet is at round %d",
+			len(c.history), fl.Round())
+	}
+	c.fleet = fl
+	return c, nil
+}

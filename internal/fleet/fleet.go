@@ -1,0 +1,534 @@
+// Package fleet scales the In-situ AI closed loop from one simulated
+// node to a concurrent deployment: one Cloud server services N in-situ
+// nodes, each running the node half of the loop (capture → diagnose →
+// upload) on its own goroutine with its own dataset shard, seeded lossy
+// links and uplink meter. The server batches the round's uploads through
+// a bounded queue, admits them under a per-round cap (so one chatty or
+// recovering node cannot monopolize the retrain), runs ONE incremental
+// retrain on the aggregated set, recalibrates the diagnosis threshold on
+// the pooled calibration samples, and fans the versioned bundle out to
+// every node over its own faulty downlink via deploy.Deliver.
+//
+// The protocol is round-synchronous and deterministic: every node always
+// answers every command (a failed upload still sends its marker), the
+// server sorts responses by node id before aggregating, and the
+// admission cap is applied in node-id order — so a fleet run is a pure
+// function of its Config and can be checkpointed at round boundaries and
+// resumed byte-identically. Wall-clock time is tracked on the Fleet
+// (WallSeconds) for the scaling experiments but never enters a
+// RoundReport, keeping reports byte-comparable across machines.
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"insitu/internal/cloud"
+	"insitu/internal/core"
+	"insitu/internal/dataset"
+	"insitu/internal/deploy"
+	"insitu/internal/diagnosis"
+	"insitu/internal/jigsaw"
+	"insitu/internal/models"
+	"insitu/internal/netsim"
+	"insitu/internal/nn"
+	"insitu/internal/telemetry"
+	"insitu/internal/tensor"
+	"insitu/internal/train"
+	"insitu/internal/transfer"
+)
+
+// deployBackoffBase mirrors core's redelivery backoff (0.5 s, doubling).
+const deployBackoffBase = 0.5
+
+// Config parameterizes a fleet simulation.
+type Config struct {
+	// Nodes is the fleet size N.
+	Nodes int
+	Kind  core.SystemKind
+	// Classes/PermClasses/SharedConvs/Probes follow core.Config.
+	Classes     int
+	PermClasses int
+	SharedConvs int
+	Probes      int
+	Seed        uint64
+	InSituFrac  float64
+	Severity    float64
+	Link        netsim.Uplink
+	// FullScaleSpec prices Cloud work at paper scale (default AlexNet).
+	FullScaleSpec models.NetSpec
+	Cost          cloud.CostModel
+	// DeployRetries bounds redeliveries per node per round.
+	DeployRetries int
+	// UplinkFaults injects faults into every node's upload path; each
+	// node derives its own seed from Seed and its id. A dropped or
+	// corrupted upload batch is lost for the round (the node still pays
+	// the transmit energy) — there is no uplink retry budget.
+	UplinkFaults netsim.FaultConfig
+	// DownlinkFaults likewise for the deploy path (retried per
+	// DeployRetries, exactly like core).
+	DownlinkFaults netsim.FaultConfig
+	// OutageNodes lists node ids whose links (both directions) are
+	// permanently dark — they keep capturing and evaluating but nothing
+	// moves in either direction. The rest of the fleet must not stall.
+	OutageNodes []int
+	// QueueDepth bounds the server's ingestion queue (messages, not
+	// samples). Workers block when it is full — backpressure, not loss.
+	// 0 means Nodes.
+	QueueDepth int
+	// MaxRoundSamples caps how many uploaded samples the server admits
+	// into one round's retrain and replay pool, applied in node-id
+	// order. 0 = unlimited. The cap is what keeps the server's
+	// serialized retrain cost bounded as N grows.
+	MaxRoundSamples int
+	// RoundTimeout, when positive, lets a round complete without the
+	// nodes that have not answered in time (their round entries are
+	// marked TimedOut). It is a straggler safety valve: leaving it 0
+	// (wait forever) is what makes runs deterministic, and
+	// checkpointing requires 0.
+	RoundTimeout time.Duration
+	// Trace receives fleet.round / fleet.upload / fleet.deploy events.
+	Trace *telemetry.Tracer
+}
+
+// DefaultConfig mirrors core.DefaultConfig for an N-node fleet.
+func DefaultConfig(kind core.SystemKind, nodes int, seed uint64) Config {
+	return Config{
+		Nodes:         nodes,
+		Kind:          kind,
+		Classes:       5,
+		PermClasses:   8,
+		SharedConvs:   3,
+		Probes:        3,
+		Seed:          seed,
+		InSituFrac:    0.6,
+		Severity:      0.7,
+		Link:          netsim.WiFi(),
+		FullScaleSpec: models.AlexNet(),
+		Cost:          cloud.NewCostModel(),
+		DeployRetries: 3,
+	}
+}
+
+// NodeReport is one node's slice of a round.
+type NodeReport struct {
+	Node     int
+	Captured int
+	// Uploaded counts samples the node transmitted (and metered);
+	// UploadFailed marks the batch as lost on the uplink, in which case
+	// the server saw none of it.
+	Uploaded      int
+	CalibUploaded int
+	UploadedBytes int64
+	UploadFrac    float64
+	UplinkJoules  float64
+	UplinkSeconds float64
+	UploadFailed  bool
+	// TimedOut marks a node the round completed without (RoundTimeout).
+	TimedOut bool
+	// Admitted is how many of this node's arrived samples passed the
+	// server's admission cap into the retrain.
+	Admitted int
+	// NodeAccuracy is the node's deployed-model accuracy after the
+	// round's deploy, on the node's own capture mix.
+	NodeAccuracy         float64
+	ModelVersion         uint32
+	DeployAttempts       int
+	DeployFailed         bool
+	StaleModel           bool
+	RetransmitBytes      int64
+	DeployBackoffSeconds float64
+	DiagnosisQuality     diagnosis.Quality
+}
+
+// RoundReport is the outcome of one fleet round (round 0 = bootstrap).
+// It intentionally carries no wall-clock time: reports are byte-compared
+// across interrupted and uninterrupted runs.
+type RoundReport struct {
+	Round int
+	Kind  core.SystemKind
+	Nodes []NodeReport
+	// Uploaded counts samples that arrived at the server; Admitted what
+	// passed the cap; Trained what the single aggregated retrain used.
+	Uploaded int
+	Admitted int
+	Trained  int
+	// CloudCost prices the round's ONE aggregated retrain at full
+	// scale; PerNodeCloudCost is each uploader's amortized share of it.
+	CloudCost        cloud.Cost
+	PerNodeCloudCost cloud.Cost
+	CloudVersion     uint32
+	MeanAccuracy     float64
+}
+
+// Fleet is one simulated deployment: a Cloud server plus N node workers.
+type Fleet struct {
+	Cfg Config
+
+	// Server-side state (touched only between worker phases).
+	cloudInfer   *nn.Network
+	cloudJig     *nn.Network
+	cloudDiag    *diagnosis.JigsawDiagnoser
+	permSet      *jigsaw.PermSet
+	jigTr        *jigsaw.Trainer
+	diagSpec     models.NetSpec
+	cloudData    []dataset.Sample
+	rng          *tensor.RNG
+	cloudVersion uint32
+	round        int
+
+	nodes   []*fleetNode
+	results chan roundMsg
+	wall    float64
+	closed  bool
+
+	// stall, when set, delays a node's capture — the straggler test
+	// hook exercising RoundTimeout.
+	stall func(node, round int)
+}
+
+// New constructs a fleet and starts its (idle) node workers; call
+// Bootstrap before RunRound, and Close when done with the fleet.
+func New(cfg Config) *Fleet {
+	if cfg.Nodes < 1 || cfg.Classes < 2 || cfg.PermClasses < 2 {
+		panic("fleet: bad config")
+	}
+	f := &Fleet{
+		Cfg:        cfg,
+		permSet:    jigsaw.NewPermSet(cfg.PermClasses, cfg.Seed+1),
+		cloudJig:   jigsaw.NewNet(cfg.PermClasses, cfg.Seed+2),
+		cloudInfer: models.TinyAlex(cfg.Classes, cfg.Seed+3),
+		diagSpec:   models.DiagnosisSpec(cfg.FullScaleSpec, 100),
+		rng:        tensor.NewRNG(cfg.Seed + 4),
+	}
+	f.jigTr = jigsaw.NewTrainer(f.cloudJig, f.permSet, 0.01, cfg.Seed+5)
+	f.cloudDiag = diagnosis.NewJigsawDiagnoser(f.cloudJig, f.permSet, cfg.Probes, cfg.Seed+6)
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = cfg.Nodes
+	}
+	f.results = make(chan roundMsg, depth)
+	outage := make(map[int]bool, len(cfg.OutageNodes))
+	for _, id := range cfg.OutageNodes {
+		outage[id] = true
+	}
+	f.nodes = make([]*fleetNode, cfg.Nodes)
+	for i := range f.nodes {
+		f.nodes[i] = newFleetNode(f, i, outage[i])
+		go f.worker(f.nodes[i])
+	}
+	return f
+}
+
+// Close stops the node workers. The fleet must be quiesced (no round in
+// flight); further rounds panic.
+func (f *Fleet) Close() {
+	if f.closed {
+		return
+	}
+	f.closed = true
+	for _, n := range f.nodes {
+		close(n.cmds)
+	}
+}
+
+// Round returns the loop position: 0 before Bootstrap, then 1 plus the
+// number of incremental rounds completed — the fleet analogue of
+// core.System.Stage.
+func (f *Fleet) Round() int { return f.round }
+
+// WallSeconds returns the wall-clock time spent inside Bootstrap and
+// RunRound so far. It feeds the scaling experiments and is deliberately
+// kept out of RoundReports (which are byte-compared across runs).
+func (f *Fleet) WallSeconds() float64 { return f.wall }
+
+// CloudVersion returns the latest bundle version the server published.
+func (f *Fleet) CloudVersion() uint32 { return f.cloudVersion }
+
+// Bootstrap runs round 0: every node captures and uploads n raw images,
+// the server pre-trains the unsupervised network on the admitted pool,
+// transfers into the inference network, fine-tunes, calibrates the
+// diagnosis threshold and deploys v1 to the whole fleet.
+func (f *Fleet) Bootstrap(n int) RoundReport {
+	if f.round != 0 {
+		panic("fleet: Bootstrap after rounds have run")
+	}
+	start := time.Now()
+	want := f.broadcast(workerCmd{kind: cmdCapture, round: 0, n: n, bootstrap: true})
+	ups := f.collectUploads(0, want)
+	admitted, trainSet, _ := f.admit(ups)
+
+	if len(trainSet) > 0 {
+		f.trainJigsaw(trainSet, 0)
+		if _, err := transfer.FromUnsupervised(f.cloudInfer, f.cloudJig, f.Cfg.SharedConvs); err != nil {
+			panic(fmt.Sprintf("fleet: transfer failed: %v", err))
+		}
+		cfg := train.DefaultConfig(core.StepsFor(len(trainSet)))
+		train.Run(f.cloudInfer, trainSet, cfg, 0)
+		errRate := 1 - train.Evaluate(f.cloudInfer, trainSet)
+		diagnosis.Calibrate(f.cloudDiag, trainSet, core.CalibTarget(errRate))
+	}
+	// Incremental rounds use the gentler update rate, like core.
+	f.jigTr.Opt.LR = 0.005
+
+	rep := f.deployRound(0, ups, admitted, len(trainSet), 0)
+	f.round = 1
+	f.wall += time.Since(start).Seconds()
+	return rep
+}
+
+// RunRound runs one incremental round: every node captures n images,
+// diagnoses and uploads; the server aggregates, retrains once,
+// recalibrates and redeploys.
+func (f *Fleet) RunRound(n int) RoundReport {
+	if f.round == 0 {
+		panic("fleet: RunRound before Bootstrap")
+	}
+	start := time.Now()
+	round := f.round
+	want := f.broadcast(workerCmd{kind: cmdCapture, round: round, n: n})
+	ups := f.collectUploads(round, want)
+	admitted, trainSet, calibs := f.admit(ups)
+
+	locked := 0
+	if f.Cfg.Kind.UsesWeightSharing() {
+		locked = f.Cfg.SharedConvs
+	}
+	if f.Cfg.Kind == core.SystemCloudDiagnosis {
+		// Cloud-side diagnosis: the filter runs after the move, on the
+		// server's own diagnoser (the node copies may lag a deploy).
+		_, unrecognized := diagnosis.Split(f.cloudDiag, trainSet)
+		trainSet = unrecognized
+	}
+	if len(trainSet) > 0 {
+		f.trainJigsaw(trainSet, locked)
+		mixed := f.withReplay(trainSet)
+		cfg := train.DefaultConfig(core.StepsFor(len(mixed)))
+		cfg.LR = 0.005
+		transfer.FineTune(f.cloudInfer, mixed, cfg, locked)
+	}
+	if len(calibs) > 0 {
+		// Recalibrate on the calibration samples pooled across nodes,
+		// EMA-blended like core so one noisy node cannot swing the
+		// fleet-wide upload budget.
+		errRate := 1 - train.Evaluate(f.cloudInfer, calibs)
+		prev := f.cloudDiag.Threshold()
+		diagnosis.Calibrate(f.cloudDiag, calibs, core.CalibTarget(errRate))
+		f.cloudDiag.SetThreshold(0.5*prev + 0.5*f.cloudDiag.Threshold())
+	}
+
+	rep := f.deployRound(round, ups, admitted, len(trainSet), locked)
+	f.round++
+	f.wall += time.Since(start).Seconds()
+	return rep
+}
+
+// broadcast sends one command to every worker, returning how many were
+// actually reached. Without a RoundTimeout the sends block (workers
+// always drain their queue, so this cannot deadlock); with one, a
+// stalled worker whose command buffer is full is skipped — the round
+// will mark it TimedOut.
+func (f *Fleet) broadcast(cmd workerCmd) int {
+	if f.closed {
+		panic("fleet: round after Close")
+	}
+	sent := 0
+	for _, n := range f.nodes {
+		if f.Cfg.RoundTimeout > 0 {
+			select {
+			case n.cmds <- cmd:
+				sent++
+			default:
+			}
+		} else {
+			n.cmds <- cmd
+			sent++
+		}
+	}
+	return sent
+}
+
+// collect gathers `want` responses of the given kind/round from the
+// shared results queue, discarding stale leftovers from timed-out
+// phases. Returns per-node-id messages; missing ids timed out.
+func (f *Fleet) collect(kind cmdKind, round, want int) map[int]roundMsg {
+	got := make(map[int]roundMsg, want)
+	var timeout <-chan time.Time
+	if f.Cfg.RoundTimeout > 0 {
+		timer := time.NewTimer(f.Cfg.RoundTimeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	for len(got) < want {
+		select {
+		case m := <-f.results:
+			if m.kind != kind || m.round != round {
+				countStaleDiscard()
+				continue
+			}
+			got[m.node] = m
+		case <-timeout:
+			return got
+		}
+	}
+	return got
+}
+
+// collectUploads normalizes the capture phase into a dense per-node
+// slice (nil = timed out), restoring node-id order so every later step
+// is deterministic regardless of goroutine scheduling.
+func (f *Fleet) collectUploads(round, want int) []*uploadData {
+	msgs := f.collect(cmdCapture, round, want)
+	ups := make([]*uploadData, len(f.nodes))
+	for id, m := range msgs {
+		up := m.up
+		ups[id] = &up
+	}
+	return ups
+}
+
+// admit applies the per-round admission cap in node-id order, pools the
+// admitted samples into the replay pool and returns the per-node
+// admitted counts, the round's training set and the pooled calibration
+// samples. Failed or timed-out nodes contribute nothing.
+func (f *Fleet) admit(ups []*uploadData) (admitted []int, trainSet, calibs []dataset.Sample) {
+	admitted = make([]int, len(ups))
+	unlimited := f.Cfg.MaxRoundSamples <= 0
+	remaining := f.Cfg.MaxRoundSamples
+	for id, up := range ups {
+		if up == nil || up.failed {
+			continue
+		}
+		take := len(up.samples)
+		if !unlimited {
+			if take > remaining {
+				take = remaining
+			}
+			remaining -= take
+		}
+		admitted[id] = take
+		trainSet = append(trainSet, up.samples[:take]...)
+		calibs = append(calibs, up.calib...)
+	}
+	f.cloudData = append(f.cloudData, trainSet...)
+	return admitted, trainSet, calibs
+}
+
+// deployRound publishes one bundle version, fans it out to every node
+// over its own downlink, collects the per-node outcomes and assembles
+// the round report.
+func (f *Fleet) deployRound(round int, ups []*uploadData, admitted []int, trained, locked int) RoundReport {
+	f.cloudVersion++
+	bundle, err := deploy.Pack(f.cloudVersion, f.cloudInfer, f.cloudJig, f.cloudDiag.Threshold())
+	if err != nil {
+		panic(fmt.Sprintf("fleet: packing deployment: %v", err))
+	}
+	want := f.broadcast(workerCmd{kind: cmdDeploy, round: round, bundle: bundle})
+	deps := f.collect(cmdDeploy, round, want)
+
+	rep := RoundReport{
+		Round:        round,
+		Kind:         f.Cfg.Kind,
+		CloudVersion: f.cloudVersion,
+		Nodes:        make([]NodeReport, len(f.nodes)),
+	}
+	uploaders := 0
+	accSum, accN := 0.0, 0
+	for id := range f.nodes {
+		nr := NodeReport{Node: id, TimedOut: true}
+		if up := ups[id]; up != nil {
+			nr.TimedOut = false
+			nr.Captured = up.captured
+			nr.Uploaded = up.uploaded
+			nr.CalibUploaded = up.calibN
+			nr.UploadedBytes = up.upBytes
+			if up.captured > 0 {
+				nr.UploadFrac = float64(up.uploaded) / float64(up.captured)
+			}
+			nr.UplinkJoules = up.uplinkJ
+			nr.UplinkSeconds = up.uplinkS
+			nr.UploadFailed = up.failed
+			nr.DiagnosisQuality = up.quality
+			nr.Admitted = admitted[id]
+			if !up.failed {
+				rep.Uploaded += up.uploaded
+				uploaders++
+			}
+		}
+		if m, ok := deps[id]; ok {
+			d := m.dep
+			nr.NodeAccuracy = d.accuracy
+			nr.ModelVersion = d.version
+			nr.DeployAttempts = d.res.Attempts
+			nr.DeployFailed = d.res.Failed
+			nr.StaleModel = d.version < f.cloudVersion
+			nr.RetransmitBytes = d.res.Retransmits
+			nr.DeployBackoffSeconds = d.res.Backoff
+			accSum += d.accuracy
+			accN++
+		} else {
+			nr.TimedOut = true
+		}
+		rep.Admitted += admitted[id]
+		rep.Nodes[id] = nr
+	}
+	rep.Trained = trained
+	if trained > 0 {
+		rep.CloudCost = f.Cfg.Cost.PretrainCost(f.diagSpec, trained, locked)
+		rep.CloudCost.Add(f.Cfg.Cost.UpdateCost(f.Cfg.FullScaleSpec, trained, locked))
+		if uploaders > 0 {
+			// Each uploader's share of the single aggregated retrain.
+			share := f.Cfg.Cost.AmortizedUpdateCost(f.Cfg.FullScaleSpec, trained, locked, uploaders)
+			pre := f.Cfg.Cost.PretrainCost(f.diagSpec, trained, locked)
+			share.Add(cloud.Cost{
+				Seconds: pre.Seconds / float64(uploaders),
+				Joules:  pre.Joules / float64(uploaders),
+			})
+			rep.PerNodeCloudCost = share
+		}
+	}
+	if accN > 0 {
+		rep.MeanAccuracy = accSum / float64(accN)
+	}
+	f.record(rep)
+	return rep
+}
+
+// trainJigsaw mirrors core.System's incremental unsupervised update on
+// the server's network.
+func (f *Fleet) trainJigsaw(samples []dataset.Sample, locked int) {
+	images := make([]*tensor.Tensor, len(samples))
+	for i, smp := range samples {
+		images[i] = smp.Image
+	}
+	prefixes := transfer.ConvPrefixes(locked)
+	if locked > 0 && f.round > 0 {
+		f.cloudJig.FreezeLayers(prefixes...)
+	}
+	steps := core.StepsFor(len(images))
+	const batch = 16
+	for step := 0; step < steps; step++ {
+		i0 := (step * batch) % len(images)
+		end := i0 + batch
+		if end > len(images) {
+			end = len(images)
+		}
+		f.jigTr.Step(images[i0:end])
+	}
+	if locked > 0 && f.round > 0 {
+		f.cloudJig.UnfreezeLayers(prefixes...)
+	}
+}
+
+// withReplay mixes the fresh aggregate with an equal-sized random
+// sample of the server's accumulated pool.
+func (f *Fleet) withReplay(fresh []dataset.Sample) []dataset.Sample {
+	out := append([]dataset.Sample(nil), fresh...)
+	if len(f.cloudData) == 0 {
+		return out
+	}
+	for i := 0; i < len(fresh); i++ {
+		out = append(out, f.cloudData[f.rng.Intn(len(f.cloudData))])
+	}
+	return out
+}

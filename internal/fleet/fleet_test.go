@@ -1,0 +1,276 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"insitu/internal/ckpt"
+	"insitu/internal/core"
+	"insitu/internal/netsim"
+)
+
+func testCfg(nodes int) Config {
+	cfg := DefaultConfig(core.SystemInSituAI, nodes, 11)
+	cfg.Classes = 3
+	cfg.PermClasses = 4
+	return cfg
+}
+
+// run drives a fleet through bootstrap plus the given rounds and
+// returns all reports, closing the fleet afterwards.
+func run(cfg Config, boot int, rounds []int) []RoundReport {
+	f := New(cfg)
+	defer f.Close()
+	reps := []RoundReport{f.Bootstrap(boot)}
+	for _, n := range rounds {
+		reps = append(reps, f.RunRound(n))
+	}
+	return reps
+}
+
+func reportJSON(t *testing.T, reps []RoundReport) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(reps, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// The whole point of the round-synchronous protocol: N concurrent
+// workers, faulty links and all, produce byte-identical reports on
+// every run.
+func TestFleetDeterministicAcrossRuns(t *testing.T) {
+	t.Parallel()
+	cfg := testCfg(3)
+	cfg.UplinkFaults = netsim.FaultConfig{DropProb: 0.2}
+	cfg.DownlinkFaults = netsim.FaultConfig{CorruptProb: 0.3}
+	rounds := []int{24, 24}
+	if testing.Short() {
+		rounds = rounds[:1]
+	}
+	a := reportJSON(t, run(cfg, 32, rounds))
+	b := reportJSON(t, run(cfg, 32, rounds))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same config, different reports:\n%s\n---\n%s", a, b)
+	}
+}
+
+// One node in permanent outage must not stall the fleet: the other
+// N-1 keep uploading, the server keeps retraining, and the dark node
+// is reported failed rather than blocking the round.
+func TestFleetOutageNodeDoesNotBlock(t *testing.T) {
+	t.Parallel()
+	cfg := testCfg(4)
+	cfg.OutageNodes = []int{2}
+	cfg.QueueDepth = 2 // smaller than N: exercises backpressure too
+	reps := run(cfg, 32, []int{24, 24})
+
+	for _, rep := range reps {
+		dark := rep.Nodes[2]
+		if !dark.UploadFailed {
+			t.Fatalf("round %d: outage node upload should fail", rep.Round)
+		}
+		if !dark.DeployFailed || dark.ModelVersion != 0 {
+			t.Fatalf("round %d: outage node should never receive a deploy (failed=%v v=%d)",
+				rep.Round, dark.DeployFailed, dark.ModelVersion)
+		}
+		if dark.Admitted != 0 {
+			t.Fatalf("round %d: server admitted samples from a dark node", rep.Round)
+		}
+		if rep.Trained == 0 {
+			t.Fatalf("round %d: the live nodes' uploads should keep training going", rep.Round)
+		}
+		for _, id := range []int{0, 1, 3} {
+			nr := rep.Nodes[id]
+			if nr.UploadFailed || nr.Uploaded == 0 {
+				t.Fatalf("round %d: live node %d failed to upload", rep.Round, id)
+			}
+			if nr.ModelVersion != rep.CloudVersion {
+				t.Fatalf("round %d: live node %d on v%d, cloud at v%d",
+					rep.Round, id, nr.ModelVersion, rep.CloudVersion)
+			}
+		}
+	}
+}
+
+// The admission cap is applied in node-id order, so a fixed budget
+// fills from node 0 and the overflow is rejected deterministically.
+func TestFleetAdmissionCap(t *testing.T) {
+	t.Parallel()
+	cfg := testCfg(4)
+	cfg.MaxRoundSamples = 40
+	f := New(cfg)
+	defer f.Close()
+	rep := f.Bootstrap(32) // 4 nodes x 32 raw uploads against a 40 budget
+
+	if rep.Uploaded != 128 {
+		t.Fatalf("uploaded %d, want 128", rep.Uploaded)
+	}
+	if rep.Admitted != 40 || rep.Trained != 40 {
+		t.Fatalf("admitted %d trained %d, want 40/40", rep.Admitted, rep.Trained)
+	}
+	want := []int{32, 8, 0, 0}
+	for id, w := range want {
+		if got := rep.Nodes[id].Admitted; got != w {
+			t.Fatalf("node %d admitted %d, want %d", id, got, w)
+		}
+	}
+}
+
+// A queue depth of one serializes ingestion without deadlocking: every
+// worker blocks until the server drains, and the round still completes.
+func TestFleetBackpressureQueueDepthOne(t *testing.T) {
+	t.Parallel()
+	cfg := testCfg(6)
+	cfg.QueueDepth = 1
+	reps := run(cfg, 24, []int{16})
+	if got := len(reps); got != 2 {
+		t.Fatalf("completed %d rounds, want 2", got)
+	}
+	if reps[1].Uploaded == 0 {
+		t.Fatal("no uploads arrived through the depth-1 queue")
+	}
+}
+
+// RoundTimeout is the straggler valve: a node stalled mid-capture is
+// abandoned (TimedOut) and its late answers are discarded, after which
+// it rejoins cleanly.
+func TestFleetStragglerTimesOutAndRejoins(t *testing.T) {
+	t.Parallel()
+	cfg := testCfg(3)
+	// Generous: loaded CI runners under -race must not time out the
+	// responsive nodes alongside the deliberately stalled one.
+	cfg.RoundTimeout = 2 * time.Second
+	f := New(cfg)
+	defer f.Close()
+
+	release := make(chan struct{})
+	f.stall = func(node, round int) {
+		if node == 2 && round == 0 {
+			<-release
+		}
+	}
+	boot := f.Bootstrap(24)
+	if !boot.Nodes[2].TimedOut {
+		t.Fatal("stalled node should have timed out")
+	}
+	for _, id := range []int{0, 1} {
+		if boot.Nodes[id].TimedOut {
+			t.Fatalf("node %d timed out alongside the straggler", id)
+		}
+	}
+	if boot.Trained == 0 {
+		t.Fatal("bootstrap should have trained on the responsive nodes' uploads")
+	}
+
+	// Unblock the straggler and give the next round room to finish; its
+	// stale round-0 answers must be discarded, not mistaken for round 1.
+	close(release)
+	f.Cfg.RoundTimeout = 10 * time.Second
+	rep := f.RunRound(16)
+	for id, nr := range rep.Nodes {
+		if nr.TimedOut {
+			t.Fatalf("round 1: node %d still timed out", id)
+		}
+	}
+	if rep.Nodes[2].Uploaded == 0 {
+		t.Fatal("rejoined straggler uploaded nothing")
+	}
+}
+
+// Full crash round trip through the on-disk store, with downlink
+// faults in play: run with per-round snapshots, abandon everything but
+// the directory, resume, finish, and byte-compare against an
+// uninterrupted run.
+func TestFleetCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	t.Parallel()
+	cfg := testCfg(3)
+	cfg.DownlinkFaults = netsim.FaultConfig{CorruptProb: 0.3}
+	rounds := []int{24, 24}
+	if testing.Short() {
+		rounds = rounds[:1]
+	}
+	baseline := reportJSON(t, run(cfg, 32, rounds))
+
+	dir := t.TempDir()
+	store, err := ckpt.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCheckpointer(store, New(cfg), 1)
+	if err := c.OnRound(c.Fleet().Bootstrap(32)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The crash: only the directory survives.
+	c.Fleet().Close()
+	store2, err := ckpt.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ResumeCheckpointer(store2, cfg, 1)
+	if err != nil {
+		t.Fatalf("ResumeCheckpointer: %v", err)
+	}
+	defer c2.Fleet().Close()
+	if got := c2.Fleet().Round(); got != 1 {
+		t.Fatalf("resumed at round %d, want 1", got)
+	}
+	for _, n := range rounds {
+		if err := c2.OnRound(c2.Fleet().RunRound(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resumed := reportJSON(t, c2.History())
+	if !bytes.Equal(baseline, resumed) {
+		t.Fatalf("resumed history diverged from uninterrupted run:\n%s\n---\n%s",
+			baseline, resumed)
+	}
+}
+
+// A snapshot must refuse to resume under a config describing a
+// different experiment.
+func TestFleetResumeConfigMismatch(t *testing.T) {
+	t.Parallel()
+	cfg := testCfg(2)
+	f := New(cfg)
+	f.Bootstrap(24)
+	var buf bytes.Buffer
+	if err := f.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	for name, mutate := range map[string]func(*Config){
+		"nodes":   func(c *Config) { c.Nodes = 3 },
+		"classes": func(c *Config) { c.Classes = 4 },
+		"seed":    func(c *Config) { c.Seed++ },
+		"cap":     func(c *Config) { c.MaxRoundSamples = 7 },
+	} {
+		bad := cfg
+		mutate(&bad)
+		if _, err := Resume(bad, bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrConfigMismatch) {
+			t.Fatalf("%s: Resume error = %v, want ErrConfigMismatch", name, err)
+		}
+	}
+}
+
+// The per-node cost metrics of a single-node fleet must match the
+// shape core reports: one uploader pays the whole retrain.
+func TestFleetSingleNodeCostsUnamortized(t *testing.T) {
+	t.Parallel()
+	reps := run(testCfg(1), 32, []int{24})
+	for _, rep := range reps {
+		if rep.Trained == 0 {
+			continue
+		}
+		if rep.PerNodeCloudCost != rep.CloudCost {
+			t.Fatalf("round %d: single node should bear the full cost (%+v vs %+v)",
+				rep.Round, rep.PerNodeCloudCost, rep.CloudCost)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package fleet
+
+import (
+	"insitu/internal/dataset"
+	"insitu/internal/deploy"
+	"insitu/internal/diagnosis"
+	"insitu/internal/jigsaw"
+	"insitu/internal/models"
+	"insitu/internal/netsim"
+	"insitu/internal/nn"
+	"insitu/internal/train"
+)
+
+// One simulated in-situ node: its own dataset shard (a per-node seeded
+// generator), its own copies of the deployed networks and diagnoser, an
+// uplink meter, and seeded lossy links in both directions. A node's
+// state is touched only by its worker goroutine while a command is in
+// flight and only by the server between phases — the round-synchronous
+// protocol is the synchronization.
+
+// Per-node seed derivation offsets. The server uses Seed+1…Seed+6
+// (mirroring core); nodes derive from disjoint ranges so no stream is
+// shared across goroutines.
+const (
+	seedOffGen      = 101 // + id*131: dataset shard
+	seedOffUplink   = 301 // + id: uplink fault dice
+	seedOffDownlink = 401 // + id: downlink fault dice
+	seedOffDiag     = 601 // + id: diagnosis probe picks
+)
+
+type cmdKind int
+
+const (
+	cmdCapture cmdKind = iota
+	cmdDeploy
+)
+
+// workerCmd is one server→node instruction.
+type workerCmd struct {
+	kind      cmdKind
+	round     int
+	n         int // capture size
+	bootstrap bool
+	bundle    *deploy.Bundle // read-only, shared across workers
+}
+
+// uploadData is a node's capture-phase answer. samples/calib are nil
+// when the uplink lost the batch (failed) — the node still pays the
+// metered transmit cost.
+type uploadData struct {
+	captured int
+	uploaded int
+	calibN   int
+	upBytes  int64
+	uplinkJ  float64
+	uplinkS  float64
+	failed   bool
+	samples  []dataset.Sample
+	calib    []dataset.Sample
+	quality  diagnosis.Quality
+}
+
+// deployData is a node's deploy-phase answer.
+type deployData struct {
+	res      deploy.Result
+	version  uint32
+	accuracy float64
+}
+
+// roundMsg is one node→server response on the bounded results queue.
+type roundMsg struct {
+	node  int
+	round int
+	kind  cmdKind
+	up    uploadData
+	dep   deployData
+}
+
+type fleetNode struct {
+	id   int
+	cmds chan workerCmd
+
+	gen      *dataset.Generator
+	infer    *nn.Network
+	jig      *nn.Network
+	diag     *diagnosis.JigsawDiagnoser
+	meter    *netsim.Meter
+	uplink   *netsim.LossyLink // nil = perfect
+	downlink *netsim.LossyLink // nil = perfect
+	version  uint32
+}
+
+// newFleetNode builds node id with derived seeds. The node's networks
+// start from the same init seeds as the server's (they are the same
+// models pre-deployment), exactly like core.System's node copies.
+func newFleetNode(f *Fleet, id int, outage bool) *fleetNode {
+	cfg := f.Cfg
+	n := &fleetNode{
+		id: id,
+		// Capacity 4 covers the worst in-flight case (a stalled worker
+		// under RoundTimeout accumulating capture+deploy commands from
+		// two rounds) so broadcast never blocks on a straggler.
+		cmds:  make(chan workerCmd, 4),
+		gen:   dataset.NewGenerator(cfg.Classes, cfg.Seed+seedOffGen+uint64(id)*131),
+		jig:   jigsaw.NewNet(cfg.PermClasses, cfg.Seed+2),
+		infer: models.TinyAlex(cfg.Classes, cfg.Seed+3),
+		meter: netsim.NewMeter(cfg.Link),
+	}
+	n.diag = diagnosis.NewJigsawDiagnoser(n.jig, f.permSet, cfg.Probes, cfg.Seed+seedOffDiag+uint64(id))
+	n.uplink = nodeLink(cfg.Link, cfg.UplinkFaults, cfg.Seed+seedOffUplink+uint64(id), outage)
+	n.downlink = nodeLink(cfg.Link, cfg.DownlinkFaults, cfg.Seed+seedOffDownlink+uint64(id), outage)
+	return n
+}
+
+// nodeLink derives one node's lossy link from the fleet-wide fault
+// config; nil when the resulting link would be perfect.
+func nodeLink(up netsim.Uplink, base netsim.FaultConfig, seed uint64, outage bool) *netsim.LossyLink {
+	cfg := base
+	cfg.Seed = seed
+	if outage {
+		cfg.Outages = append([]netsim.Outage{netsim.PermanentOutage()}, cfg.Outages...)
+	}
+	if !cfg.Enabled() {
+		return nil
+	}
+	return netsim.NewLossyLink(up, cfg)
+}
+
+// worker is a node's goroutine: execute each command, always answer.
+// The results queue is bounded (Config.QueueDepth), so a worker blocks
+// here — backpressure — until the server drains; the server always
+// collects every expected response per phase, so this cannot deadlock.
+func (f *Fleet) worker(n *fleetNode) {
+	for cmd := range n.cmds {
+		var msg roundMsg
+		switch cmd.kind {
+		case cmdCapture:
+			msg = n.capture(f, cmd)
+		case cmdDeploy:
+			msg = n.deploy(f, cmd)
+		}
+		f.results <- msg
+	}
+}
+
+// capture runs the node half of a round: render the shard's next batch,
+// measure diagnosis quality, split, and push the upload batch through
+// the uplink. Bootstrap rounds upload everything raw.
+func (n *fleetNode) capture(f *Fleet, cmd workerCmd) roundMsg {
+	if f.stall != nil {
+		f.stall(n.id, cmd.round)
+	}
+	cfg := f.Cfg
+	capture := n.gen.MixedSet(cmd.n, cfg.InSituFrac, cfg.Severity)
+	up := uploadData{captured: cmd.n}
+	var uploadSet []dataset.Sample
+	if cmd.bootstrap {
+		uploadSet = capture
+	} else {
+		up.quality = diagnosis.Measure(n.diag, n.infer, capture)
+		calibN := cmd.n / 10
+		if calibN < 12 {
+			calibN = 12
+		}
+		calib := n.gen.MixedSet(calibN, cfg.InSituFrac, cfg.Severity)
+		if cfg.Kind.UsesNodeDiagnosis() {
+			// Only unrecognized data moves, plus the metered
+			// calibration sample (extra traffic, like core).
+			_, unrecognized := diagnosis.Split(n.diag, capture)
+			uploadSet = append(unrecognized, calib...)
+			up.calibN = len(calib)
+			up.captured = cmd.n + calibN
+		} else {
+			// Cloud-side variants move the full stream; the calibration
+			// subset rides along unmetered (it is part of the stream).
+			uploadSet = capture
+		}
+		up.calib = calib
+	}
+	up.uploaded = len(uploadSet)
+	up.upBytes = int64(len(uploadSet)) * dataset.ImageBytes
+	up.uplinkJ = cfg.Link.TransferEnergy(up.upBytes)
+	up.uplinkS = cfg.Link.TransferTime(up.upBytes)
+	n.meter.UploadItems(up.upBytes, int64(len(uploadSet)))
+
+	delivery := netsim.DeliverOK
+	if n.uplink != nil && up.upBytes > 0 {
+		delivery = n.uplink.Transmit(up.upBytes)
+	}
+	if delivery != netsim.DeliverOK {
+		// Dropped outright, or corrupted and rejected by the server's
+		// frame check: the round's batch is lost (no uplink retries),
+		// but the transmit energy above is already spent.
+		up.failed = true
+	} else {
+		up.samples = uploadSet
+	}
+	return roundMsg{node: n.id, round: cmd.round, kind: cmdCapture, up: up}
+}
+
+// deploy applies the round's bundle through this node's downlink (with
+// core's retry/backoff/rollback semantics via deploy.Deliver), then
+// evaluates the deployed model on the node's own capture mix.
+func (n *fleetNode) deploy(f *Fleet, cmd workerCmd) roundMsg {
+	res := deploy.Downlink{
+		Link:        n.downlink,
+		Meter:       n.meter,
+		Retries:     f.Cfg.DeployRetries,
+		BackoffBase: deployBackoffBase,
+	}.Deliver(cmd.bundle, deploy.Target{
+		Current:   n.version,
+		Inference: n.infer,
+		Jigsaw:    n.jig,
+		Diag:      n.diag,
+	})
+	n.version = res.Version
+	eval := n.gen.MixedSet(120, f.Cfg.InSituFrac, f.Cfg.Severity)
+	acc := train.Evaluate(n.infer, eval)
+	return roundMsg{
+		node: n.id, round: cmd.round, kind: cmdDeploy,
+		dep: deployData{res: res, version: n.version, accuracy: acc},
+	}
+}

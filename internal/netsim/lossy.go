@@ -9,6 +9,7 @@ package netsim
 
 import (
 	"fmt"
+	"math"
 
 	"insitu/internal/tensor"
 )
@@ -48,6 +49,13 @@ type Outage struct {
 
 // Contains reports whether transfer number seq falls in the window.
 func (o Outage) Contains(seq int64) bool { return seq >= o.Start && seq < o.End }
+
+// PermanentOutage is a blackout covering every transfer a link will ever
+// make — the fleet experiments use it to model a node that goes dark and
+// never comes back, which must not stall the healthy nodes.
+func PermanentOutage() Outage {
+	return Outage{Start: 0, End: math.MaxInt64}
+}
 
 // FaultConfig parameterizes injected link faults. The zero value is a
 // perfect link.

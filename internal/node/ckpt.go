@@ -9,10 +9,7 @@ package node
 
 import (
 	"bytes"
-	"encoding/binary"
-	"encoding/json"
 	"fmt"
-	"io"
 
 	"insitu/internal/ckpt"
 	"insitu/internal/core"
@@ -59,19 +56,13 @@ func (c *Checkpointer) OnStage(rep core.StageReport) error {
 // to seal the final state at the end of a run.
 func (c *Checkpointer) Save() error {
 	var buf bytes.Buffer
-	buf.WriteString(historyMagic)
-	hist, err := json.Marshal(c.history)
-	if err != nil {
-		return fmt.Errorf("node: encoding report history: %w", err)
+	if err := ckpt.WriteHistory(&buf, historyMagic, c.history); err != nil {
+		return fmt.Errorf("node: %w", err)
 	}
-	if err := binary.Write(&buf, binary.LittleEndian, uint64(len(hist))); err != nil {
-		return err
-	}
-	buf.Write(hist)
 	if err := c.sys.Checkpoint(&buf); err != nil {
 		return fmt.Errorf("node: checkpointing system: %w", err)
 	}
-	_, err = c.Store.Save(buf.Bytes())
+	_, err := c.Store.Save(buf.Bytes())
 	return err
 }
 
@@ -86,27 +77,9 @@ func ResumeCheckpointer(store *ckpt.Store, cfg core.Config, every int) (*Checkpo
 		return nil, err
 	}
 	r := bytes.NewReader(payload)
-	magic := make([]byte, len(historyMagic))
-	if _, err := io.ReadFull(r, magic); err != nil {
-		return nil, fmt.Errorf("node: reading history magic: %w", err)
-	}
-	if string(magic) != historyMagic {
-		return nil, fmt.Errorf("node: bad history magic %q", magic)
-	}
-	var n uint64
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return nil, err
-	}
-	if n > uint64(r.Len()) {
-		return nil, fmt.Errorf("node: history length %d exceeds snapshot", n)
-	}
-	hist := make([]byte, n)
-	if _, err := io.ReadFull(r, hist); err != nil {
-		return nil, err
-	}
 	c := NewCheckpointer(store, nil, every)
-	if err := json.Unmarshal(hist, &c.history); err != nil {
-		return nil, fmt.Errorf("node: decoding report history: %w", err)
+	if err := ckpt.ReadHistory(r, historyMagic, &c.history); err != nil {
+		return nil, fmt.Errorf("node: %w", err)
 	}
 	sys, err := core.Resume(cfg, r)
 	if err != nil {

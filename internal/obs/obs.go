@@ -18,6 +18,7 @@ import (
 
 	"insitu/internal/ckpt"
 	"insitu/internal/core"
+	"insitu/internal/fleet"
 	"insitu/internal/netsim"
 	"insitu/internal/nn"
 	"insitu/internal/node"
@@ -135,6 +136,7 @@ func Start(f Flags) (*Session, error) {
 	node.EnableTelemetry(s.Registry)
 	planner.EnableTelemetry(s.Registry)
 	core.EnableTelemetry(s.Registry)
+	fleet.EnableTelemetry(s.Registry)
 	ckpt.EnableTelemetry(s.Registry)
 
 	if f.TraceOut != "" {

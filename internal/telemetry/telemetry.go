@@ -30,6 +30,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -345,15 +346,30 @@ func (r *Registry) WriteProm(w io.Writer) error {
 			_, err = fmt.Fprintf(w, format, args...)
 		}
 	}
+	// Labeled series (name{k="v"}, built with Label) share one # TYPE
+	// line per base name, as the exposition format requires. Sorting by
+	// full name groups a base with its labeled variants, so tracking the
+	// previously-emitted base suffices.
+	lastType := ""
+	typeLine := func(name, kind string) {
+		if base := promBase(name); base != lastType {
+			p("# TYPE %s %s\n", base, kind)
+			lastType = base
+		}
+	}
 	for _, name := range sortedKeys(s.Counters) {
-		p("# TYPE %s counter\n%s %d\n", name, name, s.Counters[name])
+		typeLine(name, "counter")
+		p("%s %d\n", name, s.Counters[name])
 	}
+	lastType = ""
 	for _, name := range sortedKeys(s.Gauges) {
-		p("# TYPE %s gauge\n%s %v\n", name, name, s.Gauges[name])
+		typeLine(name, "gauge")
+		p("%s %v\n", name, s.Gauges[name])
 	}
+	lastType = ""
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
-		p("# TYPE %s histogram\n", name)
+		typeLine(name, "histogram")
 		cum := int64(0)
 		for i, b := range h.Bounds {
 			cum += h.Buckets[i]
@@ -363,6 +379,24 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		p("%s_sum %v\n%s_count %d\n", name, h.Sum, name, h.Count)
 	}
 	return err
+}
+
+// Label renders a metric name with one Prometheus-style label pair:
+// Label("fleet_uploads_total", "node", "3") → `fleet_uploads_total{node="3"}`.
+// The fleet uses it to give every simulated node its own counter series
+// under a shared base name; WriteProm groups the variants under one
+// # TYPE line. Label values are escaped per the text exposition format.
+func Label(name, key, value string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return name + "{" + key + `="` + r.Replace(value) + `"}`
+}
+
+// promBase strips a {label} suffix, returning the series' base name.
+func promBase(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
 }
 
 func sortedKeys[V any](m map[string]V) []string {

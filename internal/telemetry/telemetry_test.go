@@ -214,3 +214,35 @@ func TestServeDebug(t *testing.T) {
 		}
 	}
 }
+
+// Labeled series built with Label must render prom-escaped label values
+// and share ONE # TYPE line per base name in the exposition dump.
+func TestLabeledSeries(t *testing.T) {
+	if got := Label("fleet_uploads_total", "node", "3"); got != `fleet_uploads_total{node="3"}` {
+		t.Fatalf("Label = %q", got)
+	}
+	if got := Label("m", "k", `a"b\c`); got != `m{k="a\"b\\c"}` {
+		t.Fatalf("Label escaping = %q", got)
+	}
+	r := NewRegistry()
+	r.Counter(Label("fleet_uploads_total", "node", "0")).Add(2)
+	r.Counter(Label("fleet_uploads_total", "node", "1")).Add(5)
+	r.Counter("other_total").Inc()
+	var prom strings.Builder
+	if err := r.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	out := prom.String()
+	if n := strings.Count(out, "# TYPE fleet_uploads_total counter"); n != 1 {
+		t.Errorf("want exactly one TYPE line for the labeled family, got %d:\n%s", n, out)
+	}
+	for _, want := range []string{
+		"fleet_uploads_total{node=\"0\"} 2\n",
+		"fleet_uploads_total{node=\"1\"} 5\n",
+		"# TYPE other_total counter\nother_total 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom dump missing %q:\n%s", want, out)
+		}
+	}
+}
