@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-short bench-smoke bench-kernels bench-json trace-smoke fault-smoke crash-smoke fleet-smoke clean
+.PHONY: check vet build test race race-short bench-smoke bench-kernels bench-kernels-json bench-json trace-smoke fault-smoke crash-smoke fleet-smoke clean
 
 check: vet build race bench-smoke
 
@@ -34,10 +34,17 @@ bench-smoke:
 	$(GO) test -run NONE -bench 'MatMul|Conv|Dense|TrainStep' -benchmem -benchtime 200ms \
 		./internal/tensor/ ./internal/nn/ .
 
-# Full kernel/layer benchmark sweep at the default benchtime.
+# Full kernel/layer benchmark sweep at the default benchtime, then
+# regenerate the machine-readable kernel record (GEMM at GOMAXPROCS
+# 1/2/4/8 plus the int8-vs-float32 layer rows; prior rounds are kept).
 bench-kernels:
 	$(GO) test -run NONE -bench 'MatMul|Im2Col|Col2Im|Conv|Dense' -benchmem \
 		./internal/tensor/ ./internal/nn/
+	$(GO) run ./cmd/insitu-kernelbench -out BENCH_kernels.json
+
+# Regenerate only BENCH_kernels.json (no go-test sweep).
+bench-kernels-json:
+	$(GO) run ./cmd/insitu-kernelbench -out BENCH_kernels.json
 
 # Machine-readable record of the paper-artifact generators.
 bench-json:

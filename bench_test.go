@@ -299,7 +299,9 @@ func BenchmarkAblationQuant(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = ablQuantRes.Table().String()
 	}
-	b.ReportMetric(ablQuantRes.Accuracy[len(ablQuantRes.Accuracy)-1]*100, "q312-acc-%")
+	n := len(ablQuantRes.Accuracy)
+	b.ReportMetric(ablQuantRes.Accuracy[n-1]*100, "int8-acc-%")
+	b.ReportMetric(ablQuantRes.LatencyMS[n-1], "int8-ms-per-img")
 }
 
 func BenchmarkAblationPipeline(b *testing.B) {

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"time"
@@ -30,7 +31,26 @@ import (
 	"insitu/internal/metrics"
 	"insitu/internal/obs"
 	"insitu/internal/telemetry"
+	"insitu/internal/tensor"
 )
+
+// goAMD64Level reports the GOAMD64 microarchitecture level this binary
+// was compiled for, so bench records are attributable to the instruction
+// set they ran ("v3" builds assume AVX2 everywhere; "v1" builds rely on
+// the runtime CPU probe to pick the kernel).
+func goAMD64Level() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, set := range bi.Settings {
+			if set.Key == "GOAMD64" {
+				return set.Value
+			}
+		}
+	}
+	if runtime.GOARCH == "amd64" {
+		return "v1" // the toolchain default
+	}
+	return ""
+}
 
 // benchRecord is one experiment's cost in the -json report. With
 // -telemetry, Counters carries the kernel/pool/loop counter deltas
@@ -51,6 +71,8 @@ type benchReport struct {
 	Timestamp  string              `json:"timestamp"`
 	Scale      string              `json:"scale"`
 	GoMaxProcs int                 `json:"gomaxprocs"`
+	GoAMD64    string              `json:"goamd64,omitempty"`
+	Kernel     string              `json:"kernel"`
 	Results    []benchRecord       `json:"results"`
 	Telemetry  *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
@@ -155,6 +177,8 @@ func main() {
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		Scale:      *scaleName,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoAMD64:    goAMD64Level(),
+		Kernel:     tensor.KernelName(),
 	}
 	for _, id := range ids {
 		run, ok := runners[id]

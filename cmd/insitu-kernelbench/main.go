@@ -1,0 +1,348 @@
+// insitu-kernelbench regenerates BENCH_kernels.json, the machine-readable
+// record of the compute-kernel benchmarks.
+//
+// The float32 GEMM rows are measured at several GOMAXPROCS settings. The
+// worker pool is sized once at first use from GOMAXPROCS, so the tool
+// re-executes itself with the GOMAXPROCS environment variable set rather
+// than flipping runtime.GOMAXPROCS mid-process; each child prints its rows
+// as JSON on stdout and the parent assembles the document. The int8 rows
+// compare the float32 eval path against the quantized path on the same
+// layer shapes.
+//
+// Prior rounds already present in the output file are preserved verbatim:
+// the file is a history of kernel work, not a single snapshot. A v1-schema
+// file (one flat result list) is wrapped as the first round.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"testing"
+	"time"
+
+	"insitu/internal/nn"
+	"insitu/internal/quant"
+	"insitu/internal/tensor"
+)
+
+type row struct {
+	Exp         string  `json:"exp"`
+	GoMaxProcs  int     `json:"gomaxprocs,omitempty"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	MFlops      float64 `json:"mflops,omitempty"`
+	// Float32NsPerOp is set on int8 rows: the float eval path on the
+	// same shape, so speedup = float32_ns / ns.
+	Float32NsPerOp int64   `json:"float32_ns_per_op,omitempty"`
+	Speedup        float64 `json:"speedup,omitempty"`
+}
+
+type round struct {
+	Name    string          `json:"name"`
+	Note    string          `json:"note,omitempty"`
+	Results json.RawMessage `json:"results"`
+}
+
+type doc struct {
+	Schema    string   `json:"schema"`
+	Timestamp string   `json:"timestamp"`
+	CPU       string   `json:"cpu"`
+	HostProcs int      `json:"host_procs"`
+	GoAMD64   string   `json:"goamd64,omitempty"`
+	Kernel    string   `json:"kernel"`
+	Kernels   []string `json:"kernels_available"`
+	Rounds    []round  `json:"rounds"`
+}
+
+func main() {
+	measure := flag.String("measure", "", "internal: run one measurement set (matmul|int8) and print JSON rows")
+	out := flag.String("out", "BENCH_kernels.json", "output file")
+	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark measuring time")
+	flag.Parse()
+
+	if *measure != "" {
+		runMeasure(*measure, *benchtime)
+		return
+	}
+
+	prior := loadPriorRounds(*out)
+
+	// Float32 GEMM at increasing parallelism. On a single-vCPU host the
+	// extra workers have no cores to run on, so the rows are flat there;
+	// the invariants (identical results, 0 B/op) still hold at every
+	// setting and the scaling shows up on wider hosts.
+	var gemm []row
+	for _, procs := range []int{1, 2, 4, 8} {
+		fmt.Fprintf(os.Stderr, "measuring float32 GEMM at GOMAXPROCS=%d...\n", procs)
+		rows, err := reexecMeasure("matmul", procs, *benchtime)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "insitu-kernelbench: %v\n", err)
+			os.Exit(1)
+		}
+		gemm = append(gemm, rows...)
+	}
+	fmt.Fprintln(os.Stderr, "measuring int8 vs float32 layers...")
+	int8rows, err := reexecMeasure("int8", 1, *benchtime)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "insitu-kernelbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	d := doc{
+		Schema:    "insitu-kernel-bench/v2",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		CPU:       cpuModel(),
+		HostProcs: runtime.NumCPU(),
+		GoAMD64:   goAMD64Level(),
+		Kernel:    tensor.KernelName(),
+		Kernels:   tensor.KernelNames(),
+		Rounds:    prior,
+	}
+	d.Rounds = append(d.Rounds,
+		round{
+			Name: "round2-parallel-gemm",
+			Note: "shared-packed-panel parallel GEMM on the persistent worker pool, widest micro-kernel auto-selected at init. " +
+				fmt.Sprintf("Host has %d CPU(s): parallel rows only scale past gomaxprocs=%d.", runtime.NumCPU(), runtime.NumCPU()),
+			Results: mustJSON(gemm),
+		},
+		round{
+			Name: "round2-int8-inference",
+			Note: "executable int8 eval path (per-channel symmetric weights, uint8 activations, int32 accumulate) vs the float32 eval path on the same layer shapes at GOMAXPROCS=1. " +
+				"The paper's int8 win is the 4x weight-traffic cut; latency also wins where the GEMM dominates (Dense), while the conv row pays per-sample quantize+patch-gather overhead at these small shapes.",
+			Results: mustJSON(int8rows),
+		},
+	)
+
+	buf, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "insitu-kernelbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "insitu-kernelbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d gemm rows, %d int8 rows, kernel=%s)\n",
+		*out, len(gemm), len(int8rows), tensor.KernelName())
+}
+
+// loadPriorRounds reads an existing output file and returns its rounds.
+// A v1 document (flat "results" list, no "rounds") is wrapped as one
+// round so the history survives the schema change.
+func loadPriorRounds(path string) []round {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var v2 doc
+	if err := json.Unmarshal(buf, &v2); err == nil && len(v2.Rounds) > 0 {
+		// Drop the rounds this run regenerates so reruns don't stack
+		// duplicate blocks.
+		kept := v2.Rounds[:0]
+		for _, r := range v2.Rounds {
+			if r.Name != "round2-parallel-gemm" && r.Name != "round2-int8-inference" {
+				kept = append(kept, r)
+			}
+		}
+		return kept
+	}
+	var v1 struct {
+		Note    string          `json:"note"`
+		Results json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(buf, &v1); err == nil && len(v1.Results) > 0 {
+		return []round{{Name: "round1-blocked-sse", Note: v1.Note, Results: v1.Results}}
+	}
+	return nil
+}
+
+// reexecMeasure runs this binary again with GOMAXPROCS pinned in the
+// environment (the worker pool is sized from it at first use) and decodes
+// the rows the child prints.
+func reexecMeasure(what string, procs int, benchtime time.Duration) ([]row, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(self, "-measure", what, "-benchtime", benchtime.String())
+	cmd.Env = append(os.Environ(), fmt.Sprintf("GOMAXPROCS=%d", procs))
+	cmd.Stderr = os.Stderr
+	outBuf, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("child -measure %s (GOMAXPROCS=%d): %w", what, procs, err)
+	}
+	var rows []row
+	if err := json.Unmarshal(outBuf, &rows); err != nil {
+		return nil, fmt.Errorf("child -measure %s output: %w", what, err)
+	}
+	return rows, nil
+}
+
+func runMeasure(what string, benchtime time.Duration) {
+	var rows []row
+	switch what {
+	case "matmul":
+		rows = measureMatMul(benchtime)
+	case "int8":
+		rows = measureInt8(benchtime)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -measure %q\n", what)
+		os.Exit(2)
+	}
+	buf, err := json.Marshal(rows)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(buf, '\n'))
+}
+
+// bench runs fn under the testing benchmark driver for the configured
+// time and converts the result to a row.
+func bench(exp string, flopsPerOp int64, benchtime time.Duration, fn func(b *testing.B)) row {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	// testing.Benchmark ignores -test.benchtime outside go test; rerun
+	// manually until the configured time is spent for stable numbers.
+	for elapsed := res.T; elapsed < benchtime; elapsed += res.T {
+		more := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		if more.NsPerOp() < res.NsPerOp() {
+			res = more
+		}
+	}
+	r := row{
+		Exp:         exp,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NsPerOp:     res.NsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+	if flopsPerOp > 0 && res.NsPerOp() > 0 {
+		r.MFlops = float64(flopsPerOp) / float64(res.NsPerOp()) * 1e3
+	}
+	return r
+}
+
+func measureMatMul(benchtime time.Duration) []row {
+	var rows []row
+	for _, s := range []int{256, 512, 1024} {
+		r := tensor.NewRNG(1)
+		a, b2, c := tensor.New(s, s), tensor.New(s, s), tensor.New(s, s)
+		a.FillNormal(r, 0, 1)
+		b2.FillNormal(r, 0, 1)
+		tensor.MatMulInto(c, a, b2) // warm pack pools + worker pool
+		rows = append(rows, bench(
+			fmt.Sprintf("MatMul/%dx%dx%d", s, s, s),
+			2*int64(s)*int64(s)*int64(s), benchtime,
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					tensor.MatMulInto(c, a, b2)
+				}
+			}))
+	}
+	return rows
+}
+
+func measureInt8(benchtime time.Duration) []row {
+	var rows []row
+	r := tensor.NewRNG(7)
+
+	// Dense: the TinyAlex classifier head shape scaled up to make the
+	// GEMM dominate (batch 64, 512 -> 512).
+	d := nn.NewDense("fc", 512, 512, r)
+	dq := quant.Quantize(nn.NewNetwork("bench-fc", d))
+	x := tensor.New(64, 512)
+	x.FillNormal(r, 0, 1)
+	flops := 2 * int64(64) * 512 * 512
+	f32 := bench("Dense/64x512x512/float32", flops, benchtime, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d.Forward(x, false)
+		}
+	})
+	i8 := bench("Dense/64x512x512/int8", flops, benchtime, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dq.Forward(x)
+		}
+	})
+	i8.Float32NsPerOp = f32.NsPerOp
+	i8.Speedup = float64(f32.NsPerOp) / float64(i8.NsPerOp)
+	rows = append(rows, f32, i8)
+
+	// Conv: a mid-network TinyAlex block (16ch 16x16 -> 32ch, 3x3).
+	g := tensor.Conv2DGeom{
+		InChannels: 16, InHeight: 16, InWidth: 16,
+		OutChannels: 32, KernelSize: 3, Stride: 1, Padding: 1,
+	}
+	cv := nn.NewConv2D("conv", g, r)
+	cq := quant.Quantize(nn.NewNetwork("bench-conv", cv))
+	xc := tensor.New(8, 16, 16, 16)
+	xc.FillNormal(r, 0, 1)
+	cflops := 2 * int64(8) * int64(g.OutChannels) * int64(g.OutHeight()*g.OutWidth()) *
+		int64(g.InChannels*g.KernelSize*g.KernelSize)
+	cf32 := bench("Conv/8x16x16x16->32/float32", cflops, benchtime, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cv.Forward(xc, false)
+		}
+	})
+	ci8 := bench("Conv/8x16x16x16->32/int8", cflops, benchtime, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cq.Forward(xc)
+		}
+	})
+	ci8.Float32NsPerOp = cf32.NsPerOp
+	ci8.Speedup = float64(cf32.NsPerOp) / float64(ci8.NsPerOp)
+	rows = append(rows, cf32, ci8)
+	return rows
+}
+
+func mustJSON(v any) json.RawMessage {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return buf
+}
+
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if name, ok := strings.CutPrefix(sc.Text(), "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return runtime.GOARCH
+}
+
+// goAMD64Level reports the GOAMD64 microarchitecture level this binary
+// was compiled for ("v1".."v4"), or "" off amd64.
+func goAMD64Level() string {
+	if runtime.GOARCH != "amd64" {
+		return ""
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "GOAMD64" {
+				return s.Value
+			}
+		}
+	}
+	return "v1"
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"insitu/internal/core"
 	"insitu/internal/metrics"
@@ -62,26 +63,37 @@ func (r DriftResult) Table() *metrics.Table {
 	return t
 }
 
-// QuantResult measures the FPGA-deployment quantization tradeoff.
+// QuantResult measures the deployment quantization tradeoff: the 16-bit
+// fixed-point analysis formats plus the executable int8 path.
 type QuantResult struct {
 	Formats   []string
 	Accuracy  []float64 // after quantization
 	FloatAcc  float64   // before
-	MaxAbsErr []float64
-	// TrafficRatio is off-chip weight traffic vs float32.
+	MaxAbsErr []float64 // NaN when the scheme has no single step size (int8 is per-channel)
+	Traffic   []float64 // per-format off-chip weight traffic vs float32
+	LatencyMS []float64 // measured per-image inference latency
+	// FloatLatencyMS is the float32 baseline per-image latency.
+	FloatLatencyMS float64
+	// TrafficRatio is the 16-bit formats' weight traffic vs float32.
 	TrafficRatio float64
 }
 
 // Table renders the result.
 func (r QuantResult) Table() *metrics.Table {
 	t := metrics.NewTable(
-		fmt.Sprintf("Ablation — 16-bit deployment quantization (float32 accuracy %.3f, weight traffic ×%.1f)",
-			r.FloatAcc, r.TrafficRatio),
-		"format", "accuracy", "max |err|")
+		fmt.Sprintf("Ablation — deployment quantization (float32: accuracy %.3f, %.2f ms/img)",
+			r.FloatAcc, r.FloatLatencyMS),
+		"format", "accuracy", "max |err|", "weight traffic", "ms/img")
 	for i := range r.Formats {
+		maxErr := "per-channel"
+		if !math.IsNaN(r.MaxAbsErr[i]) {
+			maxErr = fmt.Sprintf("%.5f", r.MaxAbsErr[i])
+		}
 		t.AddRow(r.Formats[i],
 			fmt.Sprintf("%.3f", r.Accuracy[i]),
-			fmt.Sprintf("%.5f", r.MaxAbsErr[i]))
+			maxErr,
+			fmt.Sprintf("×%.2f", r.Traffic[i]),
+			fmt.Sprintf("%.2f", r.LatencyMS[i]))
 	}
 	return t
 }

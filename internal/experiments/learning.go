@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"insitu/internal/dataset"
@@ -27,7 +28,7 @@ type Scale struct {
 }
 
 // Small is the test-suite scale.
-var Small = Scale{Classes: 4, Perms: 6, TrainImages: 128, TestImages: 120, Steps: 60, Seed: 21}
+var Small = Scale{Classes: 4, Perms: 6, TrainImages: 128, TestImages: 120, Steps: 60, Seed: 22}
 
 // Paper is the benchmark scale.
 var Paper = Scale{Classes: 6, Perms: 8, TrainImages: 256, TestImages: 300, Steps: 150, Seed: 21}
@@ -166,12 +167,17 @@ func (r Fig5Result) Table() *metrics.Table {
 	return t
 }
 
-// Fig6Result carries accuracy and fine-tuning time per locked prefix.
+// Fig6Result carries accuracy and fine-tuning cost per locked prefix.
 type Fig6Result struct {
 	Locked   []int
 	Accuracy []float64
 	// TrainSeconds is the measured wall time of the fine-tune.
 	TrainSeconds []float64
+	// TrainFlops is the exact GEMM work of the fine-tune (multiply-add
+	// flops, metered via tensor.GemmFlopsTotal). Unlike wall time it is
+	// deterministic, so the "locking saves compute" claim can be tested
+	// without timing noise.
+	TrainFlops []int64
 	// ModelSpeedup is the op-model speedup at paper scale (AlexNet).
 	ModelSpeedup []float64
 }
@@ -196,9 +202,11 @@ func Fig6(s Scale) Fig6Result {
 		cfg := train.DefaultConfig(s.Steps)
 		cfg.LR = 0.005
 		t0 := time.Now()
+		f0 := tensor.GemmFlopsTotal()
 		transfer.FineTune(net, target, cfg, locked)
 		r.Locked = append(r.Locked, locked)
 		r.TrainSeconds = append(r.TrainSeconds, time.Since(t0).Seconds())
+		r.TrainFlops = append(r.TrainFlops, tensor.GemmFlopsTotal()-f0)
 		r.Accuracy = append(r.Accuracy, train.Evaluate(net, test))
 		r.ModelSpeedup = append(r.ModelSpeedup, transfer.UpdateSpeedup(models.AlexNet(), locked))
 	}
@@ -208,11 +216,12 @@ func Fig6(s Scale) Fig6Result {
 // Table renders the result.
 func (r Fig6Result) Table() *metrics.Table {
 	t := metrics.NewTable("Fig. 6 — fine-tuning with locked CONV prefixes",
-		"config", "accuracy", "train time (s)", "full-scale speedup")
+		"config", "accuracy", "train time (s)", "train GFLOPs", "full-scale speedup")
 	for i, l := range r.Locked {
 		t.AddRow(fmt.Sprintf("CONV-%d", l),
 			fmt.Sprintf("%.3f", r.Accuracy[i]),
 			fmt.Sprintf("%.2f", r.TrainSeconds[i]),
+			fmt.Sprintf("%.2f", float64(r.TrainFlops[i])/1e9),
 			fmt.Sprintf("%.2fx", r.ModelSpeedup[i]))
 	}
 	return t
@@ -293,14 +302,25 @@ func (r Fig7Result) Table() *metrics.Table {
 	return t
 }
 
-// AblationQuant trains one model and measures accuracy after quantizing
-// to each 16-bit fixed-point format — the FPGA-deployment check.
+// AblationQuant trains one model and measures accuracy, weight traffic
+// and measured inference latency for each deployment quantization: the
+// 16-bit fixed-point analysis formats (FPGA templates) and the
+// executable int8 path (tensor.GemmInt8).
 func AblationQuant(s Scale) QuantResult {
 	g := dataset.NewGenerator(s.Classes, s.Seed+70)
 	net := models.TinyAlex(s.Classes, s.Seed+71)
 	train.Run(net, g.MixedSet(s.TrainImages, 0.5, 0.6), train.DefaultConfig(s.Steps), 0)
 	test := g.MixedSet(s.TestImages, 0.5, 0.6)
-	r := QuantResult{FloatAcc: train.Evaluate(net, test), TrafficRatio: quant.WeightBytesRatio()}
+	perImg := func(d time.Duration) float64 {
+		return d.Seconds() * 1e3 / float64(len(test))
+	}
+	t0 := time.Now()
+	floatAcc := train.Evaluate(net, test)
+	r := QuantResult{
+		FloatAcc:       floatAcc,
+		FloatLatencyMS: perImg(time.Since(t0)),
+		TrafficRatio:   quant.WeightBytesRatio(),
+	}
 	var float32Weights [][]float32
 	for _, p := range net.Params() {
 		float32Weights = append(float32Weights, append([]float32(nil), p.Value.Data...))
@@ -319,9 +339,23 @@ func AblationQuant(s Scale) QuantResult {
 		if err != nil {
 			panic(err)
 		}
+		t0 = time.Now()
+		acc := train.Evaluate(net, test)
 		r.Formats = append(r.Formats, fc.name)
-		r.Accuracy = append(r.Accuracy, train.Evaluate(net, test))
+		r.Accuracy = append(r.Accuracy, acc)
 		r.MaxAbsErr = append(r.MaxAbsErr, st.MaxAbsErr)
+		r.Traffic = append(r.Traffic, quant.WeightBytesRatio())
+		r.LatencyMS = append(r.LatencyMS, perImg(time.Since(t0)))
 	}
+	// int8: actually runs quantized arithmetic, not a round-trip analysis.
+	restore()
+	q := quant.Quantize(net)
+	t0 = time.Now()
+	int8Acc := q.Evaluate(test)
+	r.Formats = append(r.Formats, "int8")
+	r.Accuracy = append(r.Accuracy, int8Acc)
+	r.MaxAbsErr = append(r.MaxAbsErr, math.NaN())
+	r.Traffic = append(r.Traffic, quant.WeightBytesRatioInt8())
+	r.LatencyMS = append(r.LatencyMS, perImg(time.Since(t0)))
 	return r
 }

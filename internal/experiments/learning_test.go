@@ -66,15 +66,18 @@ func TestFig5TransferHelps(t *testing.T) {
 	}
 }
 
-func TestFig6TimeFallsWithLocking(t *testing.T) {
+func TestFig6WorkFallsWithLocking(t *testing.T) {
 	r := fig6(t)
 	if len(r.Locked) != 6 {
 		t.Fatalf("want CONV-0..5, got %v", r.Locked)
 	}
-	// Measured fine-tune time: CONV-5 clearly cheaper than CONV-0.
-	if r.TrainSeconds[5] >= r.TrainSeconds[0] {
-		t.Fatalf("locking everything did not save time: %v vs %v",
-			r.TrainSeconds[5], r.TrainSeconds[0])
+	// Metered fine-tune work: every additional locked CONV layer skips
+	// that layer's backward GEMMs, so the exact flop count strictly falls.
+	// (Wall time falls too, but is too noisy to assert on at test scale.)
+	for i := 1; i < len(r.TrainFlops); i++ {
+		if r.TrainFlops[i] >= r.TrainFlops[i-1] {
+			t.Fatalf("locking CONV-%d did not reduce fine-tune work: %v", i, r.TrainFlops)
+		}
 	}
 	// Modeled full-scale speedup strictly increases with locking.
 	for i := 1; i < len(r.ModelSpeedup); i++ {

@@ -1,0 +1,151 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"insitu/internal/dataset"
+	"insitu/internal/models"
+	"insitu/internal/nn"
+	"insitu/internal/tensor"
+	"insitu/internal/train"
+)
+
+// Weight round-trip: dequantized values stay within half a step of the
+// original, and the per-channel scale covers the channel's max |w|.
+func TestInt8WeightRoundTripBounds(t *testing.T) {
+	r := tensor.NewRNG(5)
+	const rows, k = 6, 50
+	w := tensor.New(rows, k)
+	w.FillNormal(r, 0, 0.5)
+	iw := quantizeWeights(w.Data, rows, k)
+	if iw.kPad != tensor.PadK(k) {
+		t.Fatalf("kPad = %d, want %d", iw.kPad, tensor.PadK(k))
+	}
+	for row := 0; row < rows; row++ {
+		s := iw.scale[row]
+		var sum int32
+		for p := 0; p < k; p++ {
+			orig := w.Data[row*k+p]
+			q := iw.q[row*iw.kPad+p]
+			sum += int32(q)
+			if diff := math.Abs(float64(orig - float32(q)*s)); diff > float64(s)/2+1e-7 {
+				t.Fatalf("row %d p %d: |%v - %d·%v| = %v exceeds s/2", row, p, orig, q, s, diff)
+			}
+		}
+		if sum != iw.wsum[row] {
+			t.Fatalf("row %d: wsum = %d, want %d", row, iw.wsum[row], sum)
+		}
+		for p := k; p < iw.kPad; p++ {
+			if iw.q[row*iw.kPad+p] != 0 {
+				t.Fatalf("row %d: padding not zeroed at %d", row, p)
+			}
+		}
+	}
+}
+
+// Activation round-trip: x ≈ s·(q−z) within half a step across the
+// vector's dynamic range, including negative values.
+func TestInt8ActRoundTripBounds(t *testing.T) {
+	src := []float32{-1.5, -0.01, 0, 0.3, 2.7, 5.0}
+	dst := make([]uint8, tensor.PadK(len(src)))
+	s, z := quantizeActs(dst, src)
+	for p, v := range src {
+		got := s * float32(int32(dst[p])-z)
+		if diff := math.Abs(float64(v - got)); diff > float64(s)/2+1e-6 {
+			t.Fatalf("p %d: |%v - %v| = %v exceeds s/2 = %v", p, v, got, diff, s/2)
+		}
+	}
+	for p := len(src); p < len(dst); p++ {
+		if dst[p] != 0 {
+			t.Fatal("padding not zeroed")
+		}
+	}
+}
+
+// int8Dense tracks the float Dense closely on normal-scale inputs.
+func TestInt8DenseMatchesFloat(t *testing.T) {
+	r := tensor.NewRNG(11)
+	d := nn.NewDense("fc", 40, 12, r)
+	l := newInt8Dense(d)
+	x := tensor.New(8, 40)
+	x.FillNormal(r, 0, 1)
+	want := d.Forward(x, false)
+	got := l.forward(x)
+	assertClose(t, got, want, 0.05)
+}
+
+// int8Conv2D tracks the float Conv2D closely.
+func TestInt8ConvMatchesFloat(t *testing.T) {
+	r := tensor.NewRNG(13)
+	g := tensor.Conv2DGeom{
+		InChannels: 3, InHeight: 12, InWidth: 12,
+		OutChannels: 8, KernelSize: 3, Stride: 1, Padding: 1,
+	}
+	c := nn.NewConv2D("conv", g, r)
+	l := newInt8Conv2D(c)
+	x := tensor.New(2, 3, 12, 12)
+	x.FillNormal(r, 0, 1)
+	want := c.Forward(x, false)
+	got := l.forward(x)
+	assertClose(t, got, want, 0.05)
+}
+
+// assertClose requires got ≈ want with max |err| below tol·(dynamic
+// range of want) — quantization error scales with range, not magnitude.
+func assertClose(t *testing.T, got, want *tensor.Tensor, tol float64) {
+	t.Helper()
+	if len(got.Data) != len(want.Data) {
+		t.Fatalf("size mismatch: %d vs %d", len(got.Data), len(want.Data))
+	}
+	var lo, hi float64
+	for _, v := range want.Data {
+		lo = math.Min(lo, float64(v))
+		hi = math.Max(hi, float64(v))
+	}
+	bound := tol * (hi - lo)
+	for i := range want.Data {
+		if diff := math.Abs(float64(got.Data[i] - want.Data[i])); diff > bound {
+			t.Fatalf("index %d: |%v - %v| = %v exceeds %v", i, got.Data[i], want.Data[i], diff, bound)
+		}
+	}
+}
+
+// End to end: a trained TinyAlex quantized to int8 keeps nearly all its
+// accuracy, and the int8 network runs the full diagnosis batch shape.
+func TestInt8NetworkAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	const classes = 4
+	g := dataset.NewGenerator(classes, 3)
+	net := models.TinyAlex(classes, 4)
+	trainSet := g.IdealSet(128)
+	testSet := g.IdealSet(120)
+	train.Run(net, trainSet, train.DefaultConfig(60), 0)
+	floatAcc := train.Evaluate(net, testSet)
+
+	q := Quantize(net)
+	if q.Quantized < 7 { // 5 conv + 2 dense in TinyAlex
+		t.Fatalf("quantized %d layers, want ≥7", q.Quantized)
+	}
+	int8Acc := q.Evaluate(testSet)
+	t.Logf("float acc %.3f, int8 acc %.3f", floatAcc, int8Acc)
+	if int8Acc < floatAcc-0.05 {
+		t.Fatalf("int8 accuracy %v lost more than 5%% vs float %v", int8Acc, floatAcc)
+	}
+}
+
+// The float network must be untouched by quantization.
+func TestQuantizeLeavesSourceIntact(t *testing.T) {
+	r := tensor.NewRNG(17)
+	d := nn.NewDense("fc", 10, 4, r)
+	net := nn.NewNetwork("tiny", d)
+	before := append([]float32(nil), d.W.Value.Data...)
+	_ = Quantize(net)
+	for i, v := range d.W.Value.Data {
+		if v != before[i] {
+			t.Fatal("Quantize modified source weights")
+		}
+	}
+}

@@ -1,0 +1,45 @@
+//go:build amd64
+
+package tensor
+
+// Self-contained CPU-feature probe (the repo deliberately has no
+// third-party dependencies, so no golang.org/x/sys/cpu). AVX2 kernels
+// need AVX2 and FMA in CPUID *and* OS support for saving YMM state,
+// checked through OSXSAVE + XGETBV exactly as the Intel manual
+// prescribes.
+
+// cpuid executes CPUID for the given leaf/subleaf. Implemented in
+// cpu_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (requires OSXSAVE). Implemented in cpu_amd64.s.
+func xgetbv() (eax, edx uint32)
+
+// cpuHasAVX2FMA reports whether the AVX2/FMA micro-kernels are safe to
+// run on this machine.
+var cpuHasAVX2FMA = probeAVX2FMA()
+
+func probeAVX2FMA() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	if ecx1&fma == 0 || ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX): the OS saves YMM state on context
+	// switches.
+	xlo, _ := xgetbv()
+	if xlo&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}

@@ -1,0 +1,60 @@
+package tensor
+
+import "fmt"
+
+// Quantized int8 GEMM: the compute primitive behind the int8 inference
+// path in internal/quant. The shape is the dot-product ("A·Bᵀ") form —
+// both operands store k contiguously — because that is what quantized
+// inference produces naturally: A holds uint8 activation rows (one per
+// sample or im2col patch), B holds int8 weight rows (one per output
+// channel), and C receives raw int32 accumulators that the caller
+// dequantizes with its scales and zero-point correction.
+//
+// k must be padded to a multiple of Int8KAlign with zeros (PadK gives the
+// padded length) so the vector kernels run whole 32-byte chunks with no
+// tail loop. Activation values must stay within [0, 127]: the AVX2 kernel
+// accumulates byte pairs into int16 via VPMADDUBSW, and 127·127·2 is the
+// largest pair sum that cannot saturate. The quantizers in internal/quant
+// emit 7-bit activations for exactly this reason.
+
+// Int8KAlign is the required k-dimension alignment of GemmInt8 operands.
+const Int8KAlign = 32
+
+// PadK returns k rounded up to the next multiple of Int8KAlign.
+func PadK(k int) int { return (k + Int8KAlign - 1) / Int8KAlign * Int8KAlign }
+
+// GemmInt8 computes C[i·n+j] = Σ_p A[i·kPad+p]·B[j·kPad+p] with int32
+// accumulation, for a uint8 matrix A [m][kPad] and an int8 matrix B
+// [n][kPad]. kPad must be a multiple of Int8KAlign; A values must be
+// ≤ 127 (see package comment above).
+func GemmInt8(c []int32, a []uint8, b []int8, m, n, kPad int) {
+	if kPad <= 0 || kPad%Int8KAlign != 0 {
+		panic(fmt.Sprintf("tensor: GemmInt8 kPad=%d not a positive multiple of %d", kPad, Int8KAlign))
+	}
+	if len(a) < m*kPad || len(b) < n*kPad || len(c) < m*n {
+		panic("tensor: GemmInt8 operand shorter than its shape")
+	}
+	gemmFlopsEver.Add(2 * int64(m) * int64(n) * int64(kPad))
+	if s := kstats.Load(); s != nil {
+		s.gemmInt8.Add(1)
+	}
+	dot := dotInt8
+	for i := 0; i < m; i++ {
+		ar := a[i*kPad : (i+1)*kPad]
+		ci := c[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			ci[j] = dot(ar, b[j*kPad:(j+1)*kPad])
+		}
+	}
+}
+
+// dotInt8Go is the portable reference kernel. Plain integer arithmetic,
+// so it is exact — the vector kernels are tested for equality against it.
+func dotInt8Go(a []uint8, b []int8) int32 {
+	var s int32
+	b = b[:len(a)]
+	for p, av := range a {
+		s += int32(av) * int32(b[p])
+	}
+	return s
+}

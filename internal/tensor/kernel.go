@@ -4,33 +4,41 @@ package tensor
 // API. The structure is the classic three-level blocking scheme (as in
 // BLIS/GotoBLAS, scaled down for pure Go):
 //
-//   - C is cut into tileM×tileN macro-tiles; tiles are independent, so
-//     they double as the unit of parallelism (2-D, so both tall-narrow
-//     and short-wide problems split into enough tiles).
-//   - Within a tile, the k dimension is walked in kcBlock slices. For
-//     each slice the relevant panel of B is packed into ⌈nb/nr⌉ column
-//     micro-panels and the panel of A into ⌈mb/mr⌉ row micro-panels,
+//   - The k dimension is walked in kcBlock slices. For each slice the
+//     full A panel (m×kb) and B panel (kb×n) are packed ONCE into shared
+//     micro-panel buffers — ⌈m/mr⌉ row panels and ⌈n/nr⌉ column panels,
 //     zero-padded to full micro-tile width. Packing makes the inner
-//     loops stream over contiguous memory regardless of transposition
-//     and pushes all bounds/edge logic out of the hot loop.
+//     loops stream over contiguous memory regardless of transposition,
+//     pushes all bounds/edge logic out of the hot loop, and — because
+//     the panels are shared by every macro-tile — each operand element
+//     is packed exactly once per slice instead of once per tile.
+//   - Within a slice, C is cut into tileM×tileN macro-tiles; tiles are
+//     disjoint in C, so they double as the unit of parallelism (2-D, so
+//     both tall-narrow and short-wide problems split into enough tiles).
+//     The packing itself is parallelized too, over tileM-row and
+//     tileN-column blocks of the panel buffers.
 //   - The micro-kernel multiplies one kb×mr A-panel by one kb×nr
 //     B-panel, keeping the mr×nr accumulator block in registers, so each
-//     loaded element is reused mr (resp. nr) times. On amd64 the
-//     micro-kernel is hand-written SSE (kernel_amd64.s): the 4×8
-//     accumulator block is eight XMM registers of packed floats, which is
-//     what actually lifts throughput past the scalar mul/add ceiling.
-//     Other architectures use the pure-Go kernel in kernel_generic.go,
-//     which accumulates in the identical per-element order, so results
-//     are bit-for-bit the same.
+//     loaded element is reused mr (resp. nr) times. The kernel is
+//     selected at init by the CPU-feature probe (kernel_dispatch.go):
+//     8×8 AVX2/FMA where available, the baseline 4×8 SSE kernel on any
+//     other amd64, and a pure-Go 4×8 kernel elsewhere that accumulates
+//     in the identical per-element order as the SSE one, so those two
+//     paths produce bit-identical floats.
+//
+// Parallel partitioning policy: a GEMM with at least parallelGemmFlops
+// multiply-adds and ≥2 macro-tiles takes the persistent worker pool's
+// lock and, per kc slice, runs two pool sections — pack (units = A
+// blocks then B blocks) and compute (units = macro-tiles) — with the
+// dispatch barrier between them ordering packs before reads. The atomic
+// tile cursor gives dynamic load balancing; a busy pool (nested GEMM) or
+// a single-core host falls back to running the same units inline.
 //
 // Transposed operands are handled entirely in the packing step; the
 // micro-kernel is oblivious. All scratch comes from Workspace pools, so
 // steady-state calls do not allocate.
 
 const (
-	mr = 4 // micro-tile rows
-	nr = 8 // micro-tile cols (two XMM vectors)
-
 	kcBlock = 256 // k-slice per packing round
 	tileM   = 64  // macro-tile rows   (A block: tileM×kcBlock = 64 KiB)
 	tileN   = 256 // macro-tile cols   (B block: kcBlock×tileN = 256 KiB)
@@ -41,17 +49,27 @@ const (
 
 	// Minimum multiply-adds before a gemm tries to go parallel.
 	parallelGemmFlops = 1 << 17
+
+	// maxMicroElems bounds mr·nr over every selectable micro-kernel; the
+	// edge handler's stack buffer is sized by it (checked in useKernel).
+	maxMicroElems = 64
 )
 
-// gemmJob carries one GEMM problem. It is stored by value inside the
-// worker pool's job slot so that parallel dispatch needs no allocation.
+// gemmJob carries one GEMM problem plus the blocking state of the kc
+// slice currently executing. It is stored by value inside the worker
+// pool's job slot so that parallel dispatch needs no allocation.
 type gemmJob struct {
 	c, a, b        []float32
 	m, n, k        int
 	lda, ldb       int
 	transA, transB bool
 	accumulate     bool
-	tilesN         int // tiles per row of the macro-tile grid
+	tilesM, tilesN int // macro-tile grid
+
+	// Current kc slice and the shared packed panels for it, valid only
+	// inside gemmOn.
+	p0, kb     int
+	abuf, bbuf []float32
 }
 
 // packA and packB scratch. Two pools, because the two buffer sizes
@@ -61,11 +79,8 @@ var (
 	packBPool Workspace
 )
 
-// gemm computes C = op(A)·op(B) (or C += … when accumulate is set) for
-// row-major operands. op(A) is m×k stored with leading dimension lda
-// (k×m when transA), op(B) is k×n with leading dimension ldb (n×k when
-// transB), and C is m×n.
-func gemm(c, a, b []float32, transA, transB bool, m, n, k int, accumulate bool) {
+// newGemmJob derives the blocking geometry for one GEMM problem.
+func newGemmJob(c, a, b []float32, transA, transB bool, m, n, k int, accumulate bool) gemmJob {
 	lda := k
 	if transA {
 		lda = m
@@ -74,8 +89,33 @@ func gemm(c, a, b []float32, transA, transB bool, m, n, k int, accumulate bool) 
 	if transB {
 		ldb = k
 	}
+	return gemmJob{
+		c: c, a: a, b: b,
+		m: m, n: n, k: k,
+		lda: lda, ldb: ldb,
+		transA: transA, transB: transB,
+		accumulate: accumulate,
+		tilesM:     (m + tileM - 1) / tileM,
+		tilesN:     (n + tileN - 1) / tileN,
+	}
+}
+
+// gemm computes C = op(A)·op(B) (or C += … when accumulate is set) for
+// row-major operands. op(A) is m×k stored with leading dimension lda
+// (k×m when transA), op(B) is k×n with leading dimension ldb (n×k when
+// transB), and C is m×n.
+func gemm(c, a, b []float32, transA, transB bool, m, n, k int, accumulate bool) {
+	gemmFlopsEver.Add(2 * int64(m) * int64(n) * int64(k))
 	// Skinny or tiny problems: blocking buys nothing, run plain loops.
 	if m < mr || n < nr || k < 16 || m*n*k <= smallGemmFlops {
+		lda := k
+		if transA {
+			lda = m
+		}
+		ldb := n
+		if transB {
+			ldb = k
+		}
 		if s := kstats.Load(); s != nil {
 			s.gemmSmall.Add(1)
 			s.gemmFlops.Add(2 * int64(m) * int64(n) * int64(k))
@@ -86,44 +126,95 @@ func gemm(c, a, b []float32, transA, transB bool, m, n, k int, accumulate bool) 
 	if s := kstats.Load(); s != nil {
 		s.gemmCalls.Add(1)
 		s.gemmFlops.Add(2 * int64(m) * int64(n) * int64(k))
+		// Packed panel footprint, counted once per logical GEMM (never
+		// per worker tile, so the value is identical at any GOMAXPROCS):
+		// every operand element is packed exactly once per kc slice,
+		// padded to full micro-panels.
+		mPad := (m + mr - 1) / mr * mr
+		nPad := (n + nr - 1) / nr * nr
+		s.packBytes.Add(4 * int64(k) * int64(mPad+nPad))
 	}
-	job := gemmJob{
-		c: c, a: a, b: b,
-		m: m, n: n, k: k,
-		lda: lda, ldb: ldb,
-		transA: transA, transB: transB,
-		accumulate: accumulate,
-		tilesN:     (n + tileN - 1) / tileN,
-	}
-	tiles := ((m + tileM - 1) / tileM) * job.tilesN
-	if m*n*k >= parallelGemmFlops && tiles >= 2 && runGemmParallel(getPool(), &job, tiles) {
-		if s := kstats.Load(); s != nil {
-			s.tilesPar.Add(int64(tiles))
-		}
-		return
-	}
-	if s := kstats.Load(); s != nil {
-		s.tilesInl.Add(int64(tiles))
-	}
-	for t := 0; t < tiles; t++ {
-		gemmTile(&job, t)
-	}
+	job := newGemmJob(c, a, b, transA, transB, m, n, k, accumulate)
+	gemmOn(getPool(), &job)
 }
 
-// gemmTile computes one tileM×tileN macro-tile of C. Tiles are disjoint
+// gemmOn executes a blocked GEMM job, using pool workers when the
+// problem is large enough and the pool is free, inline otherwise. Tests
+// pass private pools; everything else arrives here from gemm.
+func gemmOn(p *workerPool, g *gemmJob) {
+	mPanels := (g.m + mr - 1) / mr
+	nPanels := (g.n + nr - 1) / nr
+	ap := packAPool.GetSlice(mPanels * mr * kcBlock)
+	bp := packBPool.GetSlice(nPanels * nr * kcBlock)
+	g.abuf, g.bbuf = *ap, *bp
+	tiles := g.tilesM * g.tilesN
+	packUnits := g.tilesM + g.tilesN
+	par := int64(g.m)*int64(g.n)*int64(g.k) >= parallelGemmFlops &&
+		tiles >= 2 && p != nil && p.workers > 0 && p.mu.TryLock()
+	if s := kstats.Load(); s != nil {
+		if par {
+			s.tilesPar.Add(int64(tiles))
+		} else {
+			s.tilesInl.Add(int64(tiles))
+		}
+	}
+	for p0 := 0; p0 < g.k; p0 += kcBlock {
+		g.p0 = p0
+		g.kb = min(kcBlock, g.k-p0)
+		if par {
+			// Phase 1: pack this slice's panels. Phase 2: sweep the
+			// macro-tiles. dispatch() is a barrier, so no tile reads a
+			// panel before its packer finished.
+			j := &p.job
+			j.g = *g
+			j.tiles = packUnits
+			j.runTile = gemmPackTile
+			p.dispatch()
+			j.tiles = tiles
+			j.runTile = gemmComputeTile
+			p.dispatch()
+		} else {
+			for u := 0; u < packUnits; u++ {
+				gemmPackUnit(g, u)
+			}
+			for t := 0; t < tiles; t++ {
+				gemmTile(g, t)
+			}
+		}
+	}
+	if par {
+		p.mu.Unlock()
+	}
+	g.abuf, g.bbuf = nil, nil
+	packAPool.PutSlice(ap)
+	packBPool.PutSlice(bp)
+}
+
+// gemmPackUnit packs one tileM-row block of A (units [0, tilesM)) or one
+// tileN-column block of B (units [tilesM, tilesM+tilesN)) of the current
+// kc slice into the shared panel buffers. Blocks are disjoint, so any
+// number may run concurrently.
+func gemmPackUnit(g *gemmJob, u int) {
+	if u < g.tilesM {
+		i0 := u * tileM
+		mb := min(tileM, g.m-i0)
+		packA(g.abuf[(i0/mr)*g.kb*mr:], g.a, g.lda, g.transA, i0, mb, g.p0, g.kb)
+		return
+	}
+	j0 := (u - g.tilesM) * tileN
+	nb := min(tileN, g.n-j0)
+	packB(g.bbuf[(j0/nr)*g.kb*nr:], g.b, g.ldb, g.transB, g.p0, g.kb, j0, nb)
+}
+
+// gemmTile runs the micro-kernel sweep of one tileM×tileN macro-tile of
+// C against the current slice's shared packed panels. Tiles are disjoint
 // in C, so any number of them may run concurrently.
 func gemmTile(g *gemmJob, tile int) {
 	i0 := (tile / g.tilesN) * tileM
-	i1 := i0 + tileM
-	if i1 > g.m {
-		i1 = g.m
-	}
+	i1 := min(i0+tileM, g.m)
 	j0 := (tile % g.tilesN) * tileN
-	j1 := j0 + tileN
-	if j1 > g.n {
-		j1 = g.n
-	}
-	if !g.accumulate {
+	j1 := min(j0+tileN, g.n)
+	if g.p0 == 0 && !g.accumulate {
 		for i := i0; i < i1; i++ {
 			row := g.c[i*g.n+j0 : i*g.n+j1]
 			for x := range row {
@@ -131,57 +222,33 @@ func gemmTile(g *gemmJob, tile int) {
 			}
 		}
 	}
-	ap := packAPool.GetSlice(tileM * kcBlock)
-	bp := packBPool.GetSlice(kcBlock * tileN)
-	abuf, bbuf := *ap, *bp
-	mb, nb := i1-i0, j1-j0
-	mPanels := (mb + mr - 1) / mr
-	nPanels := (nb + nr - 1) / nr
-	for p0 := 0; p0 < g.k; p0 += kcBlock {
-		kb := kcBlock
-		if p0+kb > g.k {
-			kb = g.k - p0
-		}
-		packB(bbuf, g.b, g.ldb, g.transB, p0, kb, j0, nb)
-		packA(abuf, g.a, g.lda, g.transA, i0, mb, p0, kb)
-		if s := kstats.Load(); s != nil {
-			// Padded panel footprint actually written by the packers.
-			s.packBytes.Add(4 * int64(kb) * int64(mPanels*mr+nPanels*nr))
-		}
-		for jp := 0; jp < nPanels; jp++ {
-			bpan := bbuf[jp*kb*nr:]
-			jj := j0 + jp*nr
-			nrem := j1 - jj
-			for ip := 0; ip < mPanels; ip++ {
-				apan := abuf[ip*kb*mr:]
-				ii := i0 + ip*mr
-				mrem := i1 - ii
-				cc := g.c[ii*g.n+jj:]
-				if mrem >= mr && nrem >= nr {
-					microKernel(cc, g.n, apan, bpan, kb)
-				} else {
-					microKernelEdge(cc, g.n, apan, bpan, kb, mrem, nrem)
-				}
+	kb := g.kb
+	for jj := j0; jj < j1; jj += nr {
+		bpan := g.bbuf[(jj/nr)*kb*nr:]
+		nrem := j1 - jj
+		for ii := i0; ii < i1; ii += mr {
+			apan := g.abuf[(ii/mr)*kb*mr:]
+			mrem := i1 - ii
+			cc := g.c[ii*g.n+jj:]
+			if mrem >= mr && nrem >= nr {
+				microKernel(cc, g.n, apan, bpan, kb)
+			} else {
+				microKernelEdge(cc, g.n, apan, bpan, kb, mrem, nrem)
 			}
 		}
 	}
-	packAPool.PutSlice(ap)
-	packBPool.PutSlice(bp)
 }
 
 // packA copies the mb×kb block of op(A) starting at row i0, depth p0 into
 // dst as row micro-panels: dst[(ip·kb+p)·mr+ir] = op(A)[i0+ip·mr+ir, p0+p].
 // Rows past mb are zero-filled so the micro-kernel never sees a ragged
-// panel.
+// panel. i0 must be a multiple of mr (macro-tile boundaries are).
 func packA(dst, a []float32, lda int, transA bool, i0, mb, p0, kb int) {
 	mPanels := (mb + mr - 1) / mr
 	for ip := 0; ip < mPanels; ip++ {
 		d := dst[ip*kb*mr : (ip+1)*kb*mr]
 		ii := i0 + ip*mr
-		h := mb - ip*mr
-		if h > mr {
-			h = mr
-		}
+		h := min(mb-ip*mr, mr)
 		if !transA {
 			// A is m×k: logical row i is contiguous in memory.
 			for ir := 0; ir < h; ir++ {
@@ -201,7 +268,10 @@ func packA(dst, a []float32, lda int, transA bool, i0, mb, p0, kb int) {
 				src := a[(p0+p)*lda+ii:]
 				dp := d[p*mr : p*mr+mr]
 				if h == mr {
-					dp[0], dp[1], dp[2], dp[3] = src[0], src[1], src[2], src[3]
+					src = src[:mr]
+					for ir := range dp {
+						dp[ir] = src[ir]
+					}
 				} else {
 					for ir := 0; ir < h; ir++ {
 						dp[ir] = src[ir]
@@ -217,16 +287,14 @@ func packA(dst, a []float32, lda int, transA bool, i0, mb, p0, kb int) {
 
 // packB copies the kb×nb block of op(B) starting at depth p0, column j0
 // into dst as column micro-panels: dst[(jp·kb+p)·nr+jr] =
-// op(B)[p0+p, j0+jp·nr+jr], zero-padding columns past nb.
+// op(B)[p0+p, j0+jp·nr+jr], zero-padding columns past nb. j0 must be a
+// multiple of nr (macro-tile boundaries are).
 func packB(dst, b []float32, ldb int, transB bool, p0, kb, j0, nb int) {
 	nPanels := (nb + nr - 1) / nr
 	for jp := 0; jp < nPanels; jp++ {
 		d := dst[jp*kb*nr : (jp+1)*kb*nr]
 		jj := j0 + jp*nr
-		w := nb - jp*nr
-		if w > nr {
-			w = nr
-		}
+		w := min(nb-jp*nr, nr)
 		if !transB {
 			// B is k×n: depth p is contiguous in memory.
 			for p := 0; p < kb; p++ {
@@ -264,8 +332,8 @@ func packB(dst, b []float32, ldb int, transB bool, p0, kb, j0, nb int) {
 // panels are zero-padded, so the full product lands in a stack buffer and
 // only the valid mrem×nrem corner is added into C.
 func microKernelEdge(c []float32, ldc int, ap, bp []float32, kb, mrem, nrem int) {
-	var tmp [mr * nr]float32
-	microKernel(tmp[:], nr, ap, bp, kb)
+	var tmp [maxMicroElems]float32
+	microKernel(tmp[:mr*nr], nr, ap, bp, kb)
 	if mrem > mr {
 		mrem = mr
 	}

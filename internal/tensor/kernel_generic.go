@@ -2,72 +2,10 @@
 
 package tensor
 
-// microKernel is the portable micro-kernel: the 4×8 tile is computed as
-// two 4×4 halves so the partial sums fit the register file on most
-// targets. Every C element still accumulates its k-products in ascending
-// p order, exactly like the SSE kernel, so both paths produce identical
-// floats.
-func microKernel(c []float32, ldc int, ap, bp []float32, kb int) {
-	if kb <= 0 {
-		return
-	}
-	microHalf(c, ldc, ap, bp, kb, 0)
-	microHalf(c, ldc, ap, bp, kb, 4)
-}
-
-// microHalf accumulates columns [off, off+4) of the 4×8 micro-tile.
-func microHalf(c []float32, ldc int, ap, bp []float32, kb, off int) {
-	var (
-		c00, c01, c02, c03 float32
-		c10, c11, c12, c13 float32
-		c20, c21, c22, c23 float32
-		c30, c31, c32, c33 float32
-	)
-	ap = ap[: kb*mr : kb*mr]
-	bp = bp[off : off+(kb-1)*nr+4]
-	for {
-		a0, a1, a2, a3 := ap[0], ap[1], ap[2], ap[3]
-		b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
-		c00 += a0 * b0
-		c01 += a0 * b1
-		c02 += a0 * b2
-		c03 += a0 * b3
-		c10 += a1 * b0
-		c11 += a1 * b1
-		c12 += a1 * b2
-		c13 += a1 * b3
-		c20 += a2 * b0
-		c21 += a2 * b1
-		c22 += a2 * b2
-		c23 += a2 * b3
-		c30 += a3 * b0
-		c31 += a3 * b1
-		c32 += a3 * b2
-		c33 += a3 * b3
-		if len(ap) <= mr {
-			break
-		}
-		ap = ap[mr:]
-		bp = bp[nr:]
-	}
-	r := c[off : off+4]
-	r[0] += c00
-	r[1] += c01
-	r[2] += c02
-	r[3] += c03
-	r = c[ldc+off : ldc+off+4]
-	r[0] += c10
-	r[1] += c11
-	r[2] += c12
-	r[3] += c13
-	r = c[2*ldc+off : 2*ldc+off+4]
-	r[0] += c20
-	r[1] += c21
-	r[2] += c22
-	r[3] += c23
-	r = c[3*ldc+off : 3*ldc+off+4]
-	r[0] += c30
-	r[1] += c31
-	r[2] += c32
-	r[3] += c33
+// kernelTable returns the micro-kernels usable on this machine, ordered
+// baseline-first. Off amd64 only the pure-Go 4×8 kernel exists; it
+// accumulates in the same per-element order as the SSE kernel, so
+// results are bit-for-bit identical across architectures.
+func kernelTable() []kernelImpl {
+	return []kernelImpl{{name: "generic", mr: 4, nr: 8, fn: microKernelGo4x8}}
 }

@@ -1,0 +1,44 @@
+// AVX2 int8 dot kernel for GemmInt8: Σ a[p]·b[p] over one padded-k row
+// pair, a unsigned (values ≤ 127) and b signed.
+//
+// Per 32-byte chunk: VPMADDUBSW multiplies unsigned a bytes by signed b
+// bytes and sums adjacent pairs into int16 lanes (cannot saturate while
+// a ≤ 127: |127·127·2| < 2¹⁵), then VPMADDWD against a ones vector
+// widens pairs of int16 into int32, accumulated in Y0. kPad is a
+// multiple of 32, so there is no tail loop.
+
+#include "textflag.h"
+
+// func dotInt8AVX2(a *uint8, b *int8, kPad int) int32
+TEXT ·dotInt8AVX2(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), BX
+	MOVQ kPad+16(FP), CX
+	SHRQ $5, CX            // 32-byte chunks
+
+	VPXOR    Y0, Y0, Y0    // int32 accumulator
+	VPCMPEQW Y3, Y3, Y3
+	VPSRLW   $15, Y3, Y3   // int16 lanes of 1
+
+loop:
+	VMOVDQU (SI), Y1       // a: 32 unsigned bytes
+	VMOVDQU (BX), Y2       // b: 32 signed bytes
+	VPMADDUBSW Y2, Y1, Y4  // int16 pair sums (signed operand first in Go syntax)
+	VPMADDWD   Y3, Y4, Y4  // widen pairs to int32
+	VPADDD     Y4, Y0, Y0
+	ADDQ $32, SI
+	ADDQ $32, BX
+	DECQ CX
+	JNZ  loop
+
+	// Horizontal reduction of the 8 int32 lanes.
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD  X1, X0, X0
+	VPSHUFD $0x4E, X0, X1  // swap 64-bit halves
+	VPADDD  X1, X0, X0
+	VPSHUFD $0xB1, X0, X1  // swap 32-bit pairs
+	VPADDD  X1, X0, X0
+	VMOVD   X0, AX
+	MOVL    AX, ret+24(FP)
+	VZEROUPPER
+	RET

@@ -115,23 +115,11 @@ func (p *workerPool) dispatch() {
 	j.wg.Wait()
 }
 
-// runGemmParallel executes the job's macro-tiles on the pool. It returns
-// false — and does nothing — when the pool has no workers or is already
-// running a parallel section; the caller then runs the tiles inline.
-func runGemmParallel(p *workerPool, g *gemmJob, tiles int) bool {
-	if p.workers == 0 || !p.mu.TryLock() {
-		return false
-	}
-	j := &p.job
-	j.g = *g
-	j.tiles = tiles
-	j.runTile = gemmRunTile
-	p.dispatch()
-	p.mu.Unlock()
-	return true
-}
-
-func gemmRunTile(j *parJob, tile int) { gemmTile(&j.g, tile) }
+// gemmPackTile and gemmComputeTile are the two parallel-GEMM sections:
+// gemmOn dispatches one pack pass and one compute pass per kc slice, with
+// the dispatch barrier between them ordering panel writes before reads.
+func gemmPackTile(j *parJob, tile int)    { gemmPackUnit(&j.g, tile) }
+func gemmComputeTile(j *parJob, tile int) { gemmTile(&j.g, tile) }
 
 // ParallelChunks splits [0, n) into contiguous chunks and runs work on
 // each, using the persistent worker pool. work receives the chunk index

@@ -107,19 +107,11 @@ func TestGemmParallelMatchesNaive(t *testing.T) {
 		a.FillNormal(r, 0, 1)
 		b.FillNormal(r, 0, 1)
 		c := New(m, n)
-		job := gemmJob{
-			c: c.Data, a: a.Data, b: b.Data,
-			m: m, n: n, k: k,
-			lda: k, ldb: n,
-			tilesN: (n + tileN - 1) / tileN,
-		}
-		tiles := ((m + tileM - 1) / tileM) * job.tilesN
-		if tiles < 2 {
+		job := newGemmJob(c.Data, a.Data, b.Data, false, false, m, n, k, false)
+		if tiles := job.tilesM * job.tilesN; tiles < 2 {
 			t.Fatalf("test shape m=%d n=%d yields %d tile(s); want ≥2", m, n, tiles)
 		}
-		if !runGemmParallel(p, &job, tiles) {
-			t.Fatalf("runGemmParallel refused a %d-tile job on an idle 4-worker pool", tiles)
-		}
+		gemmOn(p, &job)
 		if !closeEnough(c, naiveMatMul(a, b), 2e-3) {
 			t.Fatalf("parallel gemm mismatch at m=%d k=%d n=%d", m, k, n)
 		}

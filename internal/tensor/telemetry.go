@@ -15,6 +15,7 @@ type kernelStats struct {
 	gemmCalls *telemetry.Counter // gemm_calls_total: blocked-path GEMMs
 	gemmSmall *telemetry.Counter // gemm_small_calls_total: unblocked fast path
 	gemmFlops *telemetry.Counter // gemm_flops_total: 2·m·n·k multiply-adds
+	gemmInt8  *telemetry.Counter // gemm_int8_calls_total: quantized GEMMs
 	packBytes *telemetry.Counter // pack_bytes_total: bytes packed into A/B panels
 	wsGets    *telemetry.Counter // workspace_gets_total
 	wsPuts    *telemetry.Counter // workspace_puts_total
@@ -27,6 +28,19 @@ type kernelStats struct {
 }
 
 var kstats atomic.Pointer[kernelStats]
+
+// gemmFlopsEver counts multiply-add flops (2·m·n·k per GEMM) for the
+// process lifetime, independent of whether registry telemetry is enabled.
+// It exists so callers can meter deterministic work deltas — e.g. the
+// Fig. 6 experiment proves layer locking saves compute with an exact flop
+// count rather than a noise-prone wall-clock measurement. One atomic add
+// per logical GEMM, always in the submitting goroutine, so it costs
+// nothing measurable and never contends across pool workers.
+var gemmFlopsEver atomic.Int64
+
+// GemmFlopsTotal returns the cumulative GEMM multiply-add flops executed
+// by this process. Subtract two readings to meter a region of work.
+func GemmFlopsTotal() int64 { return gemmFlopsEver.Load() }
 
 // EnableTelemetry registers the kernel, workspace and worker-pool
 // counters with reg and turns on their updates; pass nil to disable.
@@ -41,6 +55,7 @@ func EnableTelemetry(reg *telemetry.Registry) {
 		gemmCalls: reg.Counter("tensor_gemm_calls_total"),
 		gemmSmall: reg.Counter("tensor_gemm_small_calls_total"),
 		gemmFlops: reg.Counter("tensor_gemm_flops_total"),
+		gemmInt8:  reg.Counter("tensor_gemm_int8_calls_total"),
 		packBytes: reg.Counter("tensor_pack_bytes_total"),
 		wsGets:    reg.Counter("tensor_workspace_gets_total"),
 		wsPuts:    reg.Counter("tensor_workspace_puts_total"),
