@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-short bench-smoke bench-kernels bench-kernels-json bench-json trace-smoke fault-smoke crash-smoke fleet-smoke clean
+.PHONY: check vet build test race race-short bench-smoke bench-kernels bench-kernels-json bench-json bench-diff trace-smoke fault-smoke crash-smoke fleet-smoke health-smoke clean
 
 check: vet build race bench-smoke
 
@@ -45,6 +45,15 @@ bench-kernels:
 # Regenerate only BENCH_kernels.json (no go-test sweep).
 bench-kernels-json:
 	$(GO) run ./cmd/insitu-kernelbench -out BENCH_kernels.json
+
+# Perf-regression gate: measure fresh at a short benchtime and compare
+# against the committed record. The tolerance is generous (3 = fail past
+# 4x) because CI runners are noisy and share cores; the gate exists to
+# catch order-of-magnitude kernel regressions, not 10% drift.
+bench-diff:
+	$(GO) run ./cmd/insitu-kernelbench -out bench-diff-fresh.json -benchtime 100ms
+	$(GO) run ./cmd/insitu-benchdiff -tolerance 3 BENCH_kernels.json bench-diff-fresh.json
+	rm -f bench-diff-fresh.json
 
 # Machine-readable record of the paper-artifact generators.
 bench-json:
@@ -96,7 +105,21 @@ fleet-smoke:
 		-require fleet.round,fleet.upload,fleet.deploy fleet-smoke.jsonl
 	rm -f fleet-smoke.jsonl
 
+# Health-plane proof: an 8-node fleet with one node in permanent
+# blackout, traced; every node must end with a verdict (insitu-top
+# -require-verdicts), the blackout node must read unhealthy, and the
+# fleet.health events must validate alongside the round events.
+health-smoke:
+	$(GO) run ./cmd/insitu-fleet -nodes 8 -bootstrap 24 -rounds 16,16 -classes 4 \
+		-outage-nodes 5 -health-out health-smoke.json \
+		-trace-out health-smoke.jsonl >/dev/null
+	$(GO) run ./cmd/insitu-tracecheck -stats \
+		-require fleet.round,fleet.health health-smoke.jsonl
+	$(GO) run ./cmd/insitu-top -once -snapshot health-smoke.json -require-verdicts
+	grep -q '"unhealthy": 1' health-smoke.json
+	rm -f health-smoke.json health-smoke.jsonl
+
 clean:
-	rm -f trace-smoke.jsonl fleet-smoke.jsonl
+	rm -f trace-smoke.jsonl fleet-smoke.jsonl health-smoke.json health-smoke.jsonl bench-diff-fresh.json
 	rm -rf crash-smoke-node crash-smoke-base.txt crash-smoke-resumed.txt crash-smoke-state
 	$(GO) clean ./...

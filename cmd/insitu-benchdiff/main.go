@@ -1,0 +1,131 @@
+// Command insitu-benchdiff compares two BENCH_kernels.json documents
+// row by row and exits nonzero when the new one regressed — the CI
+// perf gate in front of the kernel work:
+//
+//	insitu-benchdiff -tolerance 0.5 BENCH_kernels.json fresh.json
+//
+// Rows are matched by (round, experiment, GOMAXPROCS); a row is a
+// regression when new_ns > old_ns * (1 + tolerance). Rows present in
+// only one document are reported but never fail the gate (new
+// benchmarks must be addable without breaking CI). Exit codes: 0 clean,
+// 1 regression, 2 usage error or no comparable rows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"insitu/internal/benchfmt"
+	"insitu/internal/metrics"
+)
+
+// rowDiff is one matched measurement pair.
+type rowDiff struct {
+	Key       string
+	OldNs     int64
+	NewNs     int64
+	Ratio     float64 // NewNs / OldNs
+	Regressed bool
+}
+
+// compare matches rows across two documents and flags regressions.
+// unmatched counts rows seen in exactly one document. The error is
+// reserved for undecodable rounds.
+func compare(oldDoc, newDoc benchfmt.Doc, tolerance float64) (diffs []rowDiff, unmatched int, err error) {
+	index := func(d benchfmt.Doc) (map[string]benchfmt.Row, error) {
+		m := make(map[string]benchfmt.Row)
+		for _, rd := range d.Rounds {
+			rows, err := rd.Rows()
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range rows {
+				m[benchfmt.Key(rd.Name, r)] = r
+			}
+		}
+		return m, nil
+	}
+	oldRows, err := index(oldDoc)
+	if err != nil {
+		return nil, 0, err
+	}
+	newRows, err := index(newDoc)
+	if err != nil {
+		return nil, 0, err
+	}
+	for key, nr := range newRows {
+		or, ok := oldRows[key]
+		if !ok {
+			unmatched++
+			continue
+		}
+		d := rowDiff{Key: key, OldNs: or.NsPerOp, NewNs: nr.NsPerOp}
+		if or.NsPerOp > 0 {
+			d.Ratio = float64(nr.NsPerOp) / float64(or.NsPerOp)
+			d.Regressed = d.Ratio > 1+tolerance
+		}
+		diffs = append(diffs, d)
+	}
+	for key := range oldRows {
+		if _, ok := newRows[key]; !ok {
+			unmatched++
+		}
+	}
+	sort.Slice(diffs, func(i, j int) bool { return diffs[i].Key < diffs[j].Key })
+	return diffs, unmatched, nil
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 0.5, "allowed slowdown fraction (0.5 = fail past 1.5x)")
+	quiet := flag.Bool("q", false, "only print regressions")
+	flag.Parse()
+	if flag.NArg() != 2 || *tolerance < 0 {
+		fmt.Fprintln(os.Stderr, "usage: insitu-benchdiff [-tolerance 0.5] [-q] old.json new.json")
+		os.Exit(2)
+	}
+	oldDoc, err := benchfmt.Load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newDoc, err := benchfmt.Load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	diffs, unmatched, err := compare(oldDoc, newDoc, *tolerance)
+	if err != nil {
+		fatal(err)
+	}
+	if len(diffs) == 0 {
+		fmt.Fprintf(os.Stderr, "insitu-benchdiff: no comparable rows (%d unmatched) — wrong files?\n", unmatched)
+		os.Exit(2)
+	}
+
+	tab := metrics.NewTable("kernel benchmarks: old vs new", "row", "old ns/op", "new ns/op", "ratio", "verdict")
+	regressions := 0
+	for _, d := range diffs {
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		if *quiet && !d.Regressed {
+			continue
+		}
+		tab.AddRow(d.Key,
+			fmt.Sprintf("%d", d.OldNs), fmt.Sprintf("%d", d.NewNs),
+			fmt.Sprintf("%.2fx", d.Ratio), verdict)
+	}
+	fmt.Print(tab.String())
+	fmt.Printf("%d rows compared, %d unmatched, tolerance %.0f%%, %d regression(s)\n",
+		len(diffs), unmatched, *tolerance*100, regressions)
+	if regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "insitu-benchdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"insitu/internal/benchfmt"
+)
+
+func docWith(t *testing.T, rows []benchfmt.Row) benchfmt.Doc {
+	t.Helper()
+	raw, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return benchfmt.Doc{
+		Schema: "insitu-kernel-bench/v2",
+		Rounds: []benchfmt.Round{{Name: "round2-parallel-gemm", Results: raw}},
+	}
+}
+
+// The acceptance fixture: an injected 2x matmul slowdown must trip the
+// default 50% tolerance; identical inputs must not.
+func TestCompareFlagsTwoTimesSlowdown(t *testing.T) {
+	old := docWith(t, []benchfmt.Row{
+		{Exp: "MatMul/256x256x256", GoMaxProcs: 1, NsPerOp: 1000},
+		{Exp: "MatMul/512x512x512", GoMaxProcs: 1, NsPerOp: 8000},
+	})
+	slow := docWith(t, []benchfmt.Row{
+		{Exp: "MatMul/256x256x256", GoMaxProcs: 1, NsPerOp: 2000}, // 2x: regression
+		{Exp: "MatMul/512x512x512", GoMaxProcs: 1, NsPerOp: 8800}, // 1.1x: within tolerance
+	})
+
+	diffs, unmatched, err := compare(old, slow, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unmatched != 0 || len(diffs) != 2 {
+		t.Fatalf("diffs = %d, unmatched = %d", len(diffs), unmatched)
+	}
+	if !diffs[0].Regressed || diffs[0].Ratio != 2 {
+		t.Errorf("2x row not flagged: %+v", diffs[0])
+	}
+	if diffs[1].Regressed {
+		t.Errorf("1.1x row flagged at 50%% tolerance: %+v", diffs[1])
+	}
+
+	clean, _, err := compare(old, old, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range clean {
+		if d.Regressed {
+			t.Errorf("identical docs produced a regression: %+v", d)
+		}
+	}
+}
+
+// Rows are matched on round AND gomaxprocs: the same experiment at a
+// different parallelism is a different measurement, and rows present on
+// only one side count as unmatched without failing anything.
+func TestCompareKeying(t *testing.T) {
+	old := docWith(t, []benchfmt.Row{
+		{Exp: "MatMul/256x256x256", GoMaxProcs: 1, NsPerOp: 1000},
+		{Exp: "MatMul/256x256x256", GoMaxProcs: 4, NsPerOp: 400},
+	})
+	neu := docWith(t, []benchfmt.Row{
+		{Exp: "MatMul/256x256x256", GoMaxProcs: 1, NsPerOp: 1000},
+		{Exp: "MatMul/256x256x256", GoMaxProcs: 8, NsPerOp: 300}, // new setting
+	})
+	diffs, unmatched, err := compare(old, neu, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 1 {
+		t.Fatalf("diffs = %+v, want just the gomaxprocs=1 pair", diffs)
+	}
+	if unmatched != 2 { // old's procs=4 and new's procs=8
+		t.Errorf("unmatched = %d, want 2", unmatched)
+	}
+}
+
+// Disjoint documents have nothing to compare — the caller exits 2.
+func TestCompareNoOverlap(t *testing.T) {
+	a := docWith(t, []benchfmt.Row{{Exp: "A", NsPerOp: 1}})
+	b := docWith(t, []benchfmt.Row{{Exp: "B", NsPerOp: 1}})
+	diffs, unmatched, err := compare(a, b, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 || unmatched != 2 {
+		t.Fatalf("diffs = %d, unmatched = %d, want 0/2", len(diffs), unmatched)
+	}
+}
+
+// A corrupt round must surface as an error, not a silent pass.
+func TestCompareBadRound(t *testing.T) {
+	bad := benchfmt.Doc{Rounds: []benchfmt.Round{{Name: "x", Results: json.RawMessage(`{"not":"rows"}`)}}}
+	if _, _, err := compare(bad, bad, 0.5); err == nil {
+		t.Fatal("corrupt round compared cleanly")
+	}
+}

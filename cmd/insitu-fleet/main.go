@@ -19,9 +19,18 @@
 // replay pool, every node) after every -ckpt-every rounds; -resume
 // continues byte-identically. -kill-after-round N SIGKILLs the process
 // right after round N checkpoints — the crash used by `make fleet-smoke`.
+//
+// Health plane: every run tracks per-node verdicts (windowed failure
+// rates, admission-latency percentiles, accuracy drift vs the
+// deploy-time baseline). With -pprof-addr set, /healthz and /fleetz
+// serve them live (insitu-top renders /fleetz); -health-out FILE writes
+// the final fleet status JSON for insitu-top -once. -drift-drop tunes
+// the drift monitor (0 disables it — the EXPERIMENTS ablation knob) and
+// -admit-p99-slo adds a latency SLO.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -32,6 +41,7 @@ import (
 	"insitu/internal/ckpt"
 	"insitu/internal/core"
 	"insitu/internal/fleet"
+	"insitu/internal/health"
 	"insitu/internal/metrics"
 	"insitu/internal/netsim"
 	"insitu/internal/obs"
@@ -68,6 +78,12 @@ func main() {
 	maxRoundSamples := flag.Int("max-round-samples", 0, "per-round retrain admission cap in samples (0 = unlimited)")
 	killAfter := flag.Int("kill-after-round", -1,
 		"SIGKILL the process right after this round's checkpoint lands (crash-injection; needs -state-dir)")
+	driftDrop := flag.Float64("drift-drop", 0.15,
+		"degrade a node whose EWMA accuracy falls this far below its deploy-time baseline (0 disables the drift monitor)")
+	admitP99SLO := flag.Float64("admit-p99-slo", 0,
+		"degrade a node whose windowed p99 admission latency exceeds this many seconds (0 disables)")
+	healthOut := flag.String("health-out", "",
+		"write the final fleet health status (the /fleetz document) to this JSON file")
 	var obsFlags obs.Flags
 	obsFlags.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -94,11 +110,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	session, err := obs.Start(obsFlags)
+	hslo := health.SLO{AdmitP99Seconds: *admitP99SLO}
+	if *driftDrop <= 0 {
+		hslo.DriftDisabled = true
+	} else {
+		hslo.DriftDrop = *driftDrop
+	}
+	tracker := health.NewTracker(hslo)
+
+	session, err := obs.Start(obsFlags, tracker.Routes()...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "insitu-fleet:", err)
 		os.Exit(1)
 	}
+	tracker.AttachTelemetry(session.Registry)
 
 	cfg := fleet.DefaultConfig(kind, *nodes, *seed)
 	cfg.Classes = *classes
@@ -112,6 +137,7 @@ func main() {
 	cfg.QueueDepth = *queueDepth
 	cfg.MaxRoundSamples = *maxRoundSamples
 	cfg.Trace = session.Tracer
+	cfg.Health = tracker
 
 	store, err := obsFlags.OpenStore()
 	if err != nil {
@@ -147,6 +173,12 @@ func main() {
 		if store != nil {
 			ckp = fleet.NewCheckpointer(store, fl, obsFlags.CkptEvery)
 		}
+	}
+	if ckp != nil && session.Registry != nil {
+		// Snapshots carry the registry (histogram buckets included) so
+		// quantile state survives a crash; on resume the stored snapshot
+		// lands back in the live registry here.
+		ckp.AttachRegistry(session.Registry)
 	}
 	defer fl.Close()
 
@@ -261,6 +293,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aggregate throughput: %d images in %.2fs wall = %.1f imgs/s across %d nodes\n",
 			captured, wall, float64(captured)/wall, *nodes)
 	}
+
+	// Health summary: stderr one-liner always (wall-clock-derived, so
+	// never stdout), full document to -health-out for insitu-top -once.
+	hs := tracker.Snapshot()
+	fmt.Fprintf(os.Stderr, "fleet health: %s (%d healthy / %d degraded / %d unhealthy / %d unknown)\n",
+		hs.Status(), hs.Healthy, hs.Degraded, hs.Unhealthy, hs.Unknown)
+	if *healthOut != "" {
+		buf, err := json.MarshalIndent(hs, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*healthOut, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "insitu-fleet: writing -health-out:", err)
+			os.Exit(1)
+		}
+	}
+
 	if err := session.Close(os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "insitu-fleet:", err)
 		os.Exit(1)

@@ -27,40 +27,19 @@ import (
 	"testing"
 	"time"
 
+	"insitu/internal/benchfmt"
 	"insitu/internal/nn"
 	"insitu/internal/quant"
 	"insitu/internal/tensor"
 )
 
-type row struct {
-	Exp         string  `json:"exp"`
-	GoMaxProcs  int     `json:"gomaxprocs,omitempty"`
-	NsPerOp     int64   `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	MFlops      float64 `json:"mflops,omitempty"`
-	// Float32NsPerOp is set on int8 rows: the float eval path on the
-	// same shape, so speedup = float32_ns / ns.
-	Float32NsPerOp int64   `json:"float32_ns_per_op,omitempty"`
-	Speedup        float64 `json:"speedup,omitempty"`
-}
-
-type round struct {
-	Name    string          `json:"name"`
-	Note    string          `json:"note,omitempty"`
-	Results json.RawMessage `json:"results"`
-}
-
-type doc struct {
-	Schema    string   `json:"schema"`
-	Timestamp string   `json:"timestamp"`
-	CPU       string   `json:"cpu"`
-	HostProcs int      `json:"host_procs"`
-	GoAMD64   string   `json:"goamd64,omitempty"`
-	Kernel    string   `json:"kernel"`
-	Kernels   []string `json:"kernels_available"`
-	Rounds    []round  `json:"rounds"`
-}
+// The row/round/document shapes live in internal/benchfmt, shared with
+// insitu-benchdiff (the CI perf gate reads what this tool writes).
+type (
+	row   = benchfmt.Row
+	round = benchfmt.Round
+	doc   = benchfmt.Doc
+)
 
 func main() {
 	measure := flag.String("measure", "", "internal: run one measurement set (matmul|int8) and print JSON rows")

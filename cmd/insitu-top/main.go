@@ -1,0 +1,129 @@
+// Command insitu-top is the fleet health dashboard: it renders the
+// /fleetz document — per-node verdicts, windowed admission-latency
+// percentiles, failure rates and accuracy drift — as a terminal table,
+// either live against a running fleet's debug server or once from a
+// snapshot file (the -health-out artifact), which is how CI asserts
+// the health plane end to end:
+//
+//	insitu-top -addr 127.0.0.1:6060              # live, repaints every 2s
+//	insitu-top -once -snapshot health.json       # render one snapshot
+//	insitu-top -once -snapshot health.json -require-verdicts
+//
+// -require-verdicts exits 1 when the fleet is empty or any node is
+// still verdict-less, so a smoke run that silently skipped the health
+// plane fails loudly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"insitu/internal/health"
+	"insitu/internal/metrics"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6060", "debug server address to poll for /fleetz")
+	snapshot := flag.String("snapshot", "", "render a FleetStatus JSON file instead of polling")
+	once := flag.Bool("once", false, "render once and exit (implied by -snapshot)")
+	interval := flag.Duration("interval", 2*time.Second, "poll/repaint interval in live mode")
+	requireVerdicts := flag.Bool("require-verdicts", false, "exit 1 unless every node has a verdict")
+	flag.Parse()
+
+	if *snapshot != "" {
+		*once = true
+	}
+	for {
+		fs, err := load(*snapshot, *addr)
+		if err != nil {
+			fatal(err)
+		}
+		out := render(fs)
+		if !*once {
+			// Clear screen + home, like top.
+			fmt.Print("\x1b[2J\x1b[H")
+		}
+		fmt.Print(out)
+		if *once {
+			if *requireVerdicts {
+				if err := checkVerdicts(fs); err != nil {
+					fatal(err)
+				}
+			}
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func load(snapshot, addr string) (health.FleetStatus, error) {
+	var fs health.FleetStatus
+	if snapshot != "" {
+		buf, err := os.ReadFile(snapshot)
+		if err != nil {
+			return fs, err
+		}
+		if err := json.Unmarshal(buf, &fs); err != nil {
+			return fs, fmt.Errorf("%s: %w", snapshot, err)
+		}
+		return fs, nil
+	}
+	resp, err := http.Get("http://" + addr + "/fleetz")
+	if err != nil {
+		return fs, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fs, fmt.Errorf("GET /fleetz: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&fs); err != nil {
+		return fs, fmt.Errorf("GET /fleetz: %w", err)
+	}
+	return fs, nil
+}
+
+func render(fs health.FleetStatus) string {
+	tab := metrics.NewTable(
+		fmt.Sprintf("fleet health — %s (round %d: %d healthy / %d degraded / %d unhealthy / %d unknown)",
+			fs.Status(), fs.Rounds, fs.Healthy, fs.Degraded, fs.Unhealthy, fs.Unknown),
+		"node", "verdict", "rounds", "fail rate", "p50 ms", "p95 ms", "p99 ms",
+		"drift", "model", "stragglers")
+	for _, n := range fs.Nodes {
+		drift := fmt.Sprintf("%.3f", n.Drift)
+		if n.Drifting {
+			drift += " !"
+		}
+		tab.AddRow(
+			fmt.Sprintf("%d", n.Node),
+			n.Verdict,
+			fmt.Sprintf("%d", n.Rounds),
+			fmt.Sprintf("%.0f%%", n.FailureRate*100),
+			fmt.Sprintf("%.2f", n.AdmitP50Seconds*1e3),
+			fmt.Sprintf("%.2f", n.AdmitP95Seconds*1e3),
+			fmt.Sprintf("%.2f", n.AdmitP99Seconds*1e3),
+			drift,
+			fmt.Sprintf("v%d", n.ModelVersion),
+			fmt.Sprintf("%d", n.Stragglers),
+		)
+	}
+	return tab.String()
+}
+
+func checkVerdicts(fs health.FleetStatus) error {
+	if len(fs.Nodes) == 0 {
+		return fmt.Errorf("fleet is empty: no node ever reported")
+	}
+	if fs.Unknown > 0 {
+		return fmt.Errorf("%d node(s) never reached a verdict", fs.Unknown)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "insitu-top:", err)
+	os.Exit(1)
+}

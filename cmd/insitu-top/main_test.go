@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"insitu/internal/health"
+)
+
+func TestRenderAndVerdictGate(t *testing.T) {
+	fs := health.FleetStatus{
+		Rounds: 3, Healthy: 1, Unhealthy: 1,
+		Nodes: []health.NodeStatus{
+			{Node: 0, Verdict: "healthy", Rounds: 3, AdmitP99Seconds: 0.004, ModelVersion: 3},
+			{Node: 1, Verdict: "unhealthy", Rounds: 3, FailureRate: 1, Stragglers: 2},
+		},
+	}
+	out := render(fs)
+	for _, want := range []string{"unhealthy", "healthy", "v3", "100%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if err := checkVerdicts(fs); err != nil {
+		t.Errorf("verdict gate failed a fully-judged fleet: %v", err)
+	}
+	if err := checkVerdicts(health.FleetStatus{}); err == nil {
+		t.Error("verdict gate passed an empty fleet")
+	}
+	fs.Unknown = 1
+	if err := checkVerdicts(fs); err == nil {
+		t.Error("verdict gate passed an unknown verdict")
+	}
+}

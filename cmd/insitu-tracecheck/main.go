@@ -5,6 +5,11 @@
 // verify a live run end to end:
 //
 //	insitu-tracecheck -require core.stage,core.upload,planner.plan trace.jsonl
+//	insitu-tracecheck -stats fleet.jsonl     # per-span duration table
+//
+// Any invalid line makes the exit code nonzero; validation still scans
+// the whole file and reports every violation (capped), so one corrupt
+// record cannot hide the rest.
 package main
 
 import (
@@ -14,15 +19,17 @@ import (
 	"sort"
 	"strings"
 
+	"insitu/internal/metrics"
 	"insitu/internal/telemetry"
 )
 
 func main() {
 	require := flag.String("require", "", "comma-separated event names that must appear at least once")
 	quiet := flag.Bool("q", false, "suppress the per-event summary")
+	withStats := flag.Bool("stats", false, "print per-span-kind duration stats (count, total, mean, max)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: insitu-tracecheck [-require ev1,ev2] [-q] trace.jsonl")
+		fmt.Fprintln(os.Stderr, "usage: insitu-tracecheck [-require ev1,ev2] [-stats] [-q] trace.jsonl")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -32,13 +39,7 @@ func main() {
 	}
 	defer f.Close()
 
-	stats, err := telemetry.ValidateTrace(f)
-	if err != nil {
-		fatal(fmt.Errorf("%s: %w", path, err))
-	}
-	if stats.Records == 0 {
-		fatal(fmt.Errorf("%s: trace is empty", path))
-	}
+	stats, verr := telemetry.ValidateTrace(f)
 	if !*quiet {
 		events := make([]string, 0, len(stats.ByEvent))
 		for ev := range stats.ByEvent {
@@ -48,6 +49,35 @@ func main() {
 		for _, ev := range events {
 			fmt.Printf("%-24s %d\n", ev, stats.ByEvent[ev])
 		}
+	}
+	if *withStats && len(stats.Durations) > 0 {
+		kinds := make([]string, 0, len(stats.Durations))
+		for ev := range stats.Durations {
+			kinds = append(kinds, ev)
+		}
+		sort.Strings(kinds)
+		tab := metrics.NewTable("span durations", "span", "count", "total ms", "mean ms", "max ms")
+		for _, ev := range kinds {
+			d := stats.Durations[ev]
+			tab.AddRow(ev,
+				fmt.Sprintf("%d", d.Count),
+				fmt.Sprintf("%.2f", float64(d.TotalNs)/1e6),
+				fmt.Sprintf("%.2f", float64(d.MeanNs())/1e6),
+				fmt.Sprintf("%.2f", float64(d.MaxNs)/1e6))
+		}
+		fmt.Print(tab.String())
+	}
+	if verr != nil {
+		for _, e := range stats.Errors {
+			fmt.Fprintln(os.Stderr, "insitu-tracecheck:", e)
+		}
+		if extra := stats.InvalidLines - len(stats.Errors); extra > 0 {
+			fmt.Fprintf(os.Stderr, "insitu-tracecheck: ... and %d more invalid line(s)\n", extra)
+		}
+		fatal(fmt.Errorf("%s: %d invalid line(s)", path, stats.InvalidLines))
+	}
+	if stats.Records == 0 {
+		fatal(fmt.Errorf("%s: trace is empty", path))
 	}
 	var missing []string
 	if *require != "" {

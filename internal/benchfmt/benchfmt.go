@@ -1,0 +1,75 @@
+// Package benchfmt defines the BENCH_kernels.json v2 document shared by
+// insitu-kernelbench (writer) and insitu-benchdiff (the CI perf gate's
+// reader). Round results are kept as raw JSON in Doc so a reader that
+// only cares about some rounds preserves the rest verbatim — the file
+// is a history of kernel work, and tools must not eat fields they do
+// not understand.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Row is one benchmark measurement.
+type Row struct {
+	Exp         string  `json:"exp"`
+	GoMaxProcs  int     `json:"gomaxprocs,omitempty"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	MFlops      float64 `json:"mflops,omitempty"`
+	// Float32NsPerOp is set on int8 rows: the float eval path on the
+	// same shape, so speedup = float32_ns / ns.
+	Float32NsPerOp int64   `json:"float32_ns_per_op,omitempty"`
+	Speedup        float64 `json:"speedup,omitempty"`
+}
+
+// Round is one named block of results. Results stays raw so unknown
+// row fields round-trip untouched.
+type Round struct {
+	Name    string          `json:"name"`
+	Note    string          `json:"note,omitempty"`
+	Results json.RawMessage `json:"results"`
+}
+
+// Rows decodes the round's results.
+func (r Round) Rows() ([]Row, error) {
+	var rows []Row
+	if err := json.Unmarshal(r.Results, &rows); err != nil {
+		return nil, fmt.Errorf("benchfmt: round %q results: %w", r.Name, err)
+	}
+	return rows, nil
+}
+
+// Doc is the whole v2 document.
+type Doc struct {
+	Schema    string   `json:"schema"`
+	Timestamp string   `json:"timestamp"`
+	CPU       string   `json:"cpu"`
+	HostProcs int      `json:"host_procs"`
+	GoAMD64   string   `json:"goamd64,omitempty"`
+	Kernel    string   `json:"kernel"`
+	Kernels   []string `json:"kernels_available"`
+	Rounds    []Round  `json:"rounds"`
+}
+
+// Load reads one v2 document from disk.
+func Load(path string) (Doc, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return Doc{}, err
+	}
+	var d Doc
+	if err := json.Unmarshal(buf, &d); err != nil {
+		return Doc{}, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	return d, nil
+}
+
+// Key identifies one measurement across two documents: round name,
+// experiment and the GOMAXPROCS it ran at.
+func Key(roundName string, r Row) string {
+	return fmt.Sprintf("%s|%s|%d", roundName, r.Exp, r.GoMaxProcs)
+}

@@ -14,6 +14,7 @@ import (
 	"insitu/internal/models"
 	"insitu/internal/netsim"
 	"insitu/internal/nn"
+	"insitu/internal/telemetry"
 )
 
 // Crash-safe persistence of the fleet. Checkpoint serializes the
@@ -30,6 +31,10 @@ import (
 const (
 	ckptMagic    = "ISFL0001"
 	historyMagic = "ISFH0001"
+	// telemetryMagic frames the registry snapshot that rides between the
+	// history and the fleet state, so windowed percentile state survives
+	// a crash along with the models.
+	telemetryMagic = "ISTL0001"
 )
 
 // ErrConfigMismatch is returned by Resume when the checkpoint was taken
@@ -279,8 +284,9 @@ func Resume(cfg Config, r io.Reader) (*Fleet, error) {
 	return f, nil
 }
 
-// Checkpointer persists a Fleet plus its round-report history on a
-// fixed cadence — the fleet analogue of node.Checkpointer.
+// Checkpointer persists a Fleet plus its round-report history and
+// (when a registry is attached) the telemetry snapshot on a fixed
+// cadence — the fleet analogue of node.Checkpointer.
 type Checkpointer struct {
 	Store *ckpt.Store
 	// Every is the snapshot cadence in rounds (1 = after every round).
@@ -288,6 +294,10 @@ type Checkpointer struct {
 
 	fleet   *Fleet
 	history []RoundReport
+
+	reg *telemetry.Registry
+	// pending holds a resumed snapshot until AttachRegistry delivers it.
+	pending *telemetry.Snapshot
 }
 
 // NewCheckpointer wraps a live fleet. every < 1 means every round.
@@ -314,10 +324,30 @@ func (c *Checkpointer) OnRound(rep RoundReport) error {
 	return c.Save()
 }
 
+// AttachRegistry makes Save embed reg's snapshot in every checkpoint —
+// counters, gauges AND histogram bucket counts, so quantile answers
+// survive a crash. On a checkpointer returned by ResumeCheckpointer the
+// stored snapshot is loaded into reg immediately. Pass the registry the
+// process actually serves from (the obs session's), before the first
+// round runs.
+func (c *Checkpointer) AttachRegistry(reg *telemetry.Registry) {
+	c.reg = reg
+	if c.pending != nil {
+		reg.LoadSnapshot(*c.pending)
+		c.pending = nil
+	}
+}
+
 // Save writes one snapshot now, regardless of cadence.
 func (c *Checkpointer) Save() error {
 	var buf bytes.Buffer
 	if err := ckpt.WriteHistory(&buf, historyMagic, c.history); err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	// The telemetry frame is always present (an empty snapshot when no
+	// registry is attached) so the stream layout never depends on
+	// runtime wiring.
+	if err := ckpt.WriteHistory(&buf, telemetryMagic, c.reg.Snapshot()); err != nil {
 		return fmt.Errorf("fleet: %w", err)
 	}
 	if err := c.fleet.Checkpoint(&buf); err != nil {
@@ -339,6 +369,11 @@ func ResumeCheckpointer(store *ckpt.Store, cfg Config, every int) (*Checkpointer
 	if err := ckpt.ReadHistory(r, historyMagic, &c.history); err != nil {
 		return nil, fmt.Errorf("fleet: %w", err)
 	}
+	var snap telemetry.Snapshot
+	if err := ckpt.ReadHistory(r, telemetryMagic, &snap); err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	c.pending = &snap
 	fl, err := Resume(cfg, r)
 	if err != nil {
 		return nil, err

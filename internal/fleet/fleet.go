@@ -28,6 +28,7 @@ import (
 	"insitu/internal/dataset"
 	"insitu/internal/deploy"
 	"insitu/internal/diagnosis"
+	"insitu/internal/health"
 	"insitu/internal/jigsaw"
 	"insitu/internal/models"
 	"insitu/internal/netsim"
@@ -87,8 +88,14 @@ type Config struct {
 	// (wait forever) is what makes runs deterministic, and
 	// checkpointing requires 0.
 	RoundTimeout time.Duration
-	// Trace receives fleet.round / fleet.upload / fleet.deploy events.
+	// Trace receives fleet.round / fleet.upload / fleet.deploy events
+	// (and fleet.health when Health is set).
 	Trace *telemetry.Tracer
+	// Health, when set, receives one sample per node per round — round
+	// outcomes plus wall-clock admission latency — and folds them into
+	// per-node verdicts. Health state is observability only: it never
+	// feeds back into RoundReports, which stay byte-comparable.
+	Health *health.Tracker
 }
 
 // DefaultConfig mirrors core.DefaultConfig for an N-node fleet.
@@ -245,6 +252,9 @@ func (f *Fleet) WallSeconds() float64 { return f.wall }
 // CloudVersion returns the latest bundle version the server published.
 func (f *Fleet) CloudVersion() uint32 { return f.cloudVersion }
 
+// Health returns the fleet's health tracker (nil when none configured).
+func (f *Fleet) Health() *health.Tracker { return f.Cfg.Health }
+
 // Bootstrap runs round 0: every node captures and uploads n raw images,
 // the server pre-trains the unsupervised network on the admitted pool,
 // transfers into the inference network, fine-tunes, calibrates the
@@ -255,7 +265,7 @@ func (f *Fleet) Bootstrap(n int) RoundReport {
 	}
 	start := time.Now()
 	want := f.broadcast(workerCmd{kind: cmdCapture, round: 0, n: n, bootstrap: true})
-	ups := f.collectUploads(0, want)
+	ups, lats := f.collectUploads(0, want, start)
 	admitted, trainSet, _ := f.admit(ups)
 
 	if len(trainSet) > 0 {
@@ -271,7 +281,7 @@ func (f *Fleet) Bootstrap(n int) RoundReport {
 	// Incremental rounds use the gentler update rate, like core.
 	f.jigTr.Opt.LR = 0.005
 
-	rep := f.deployRound(0, ups, admitted, len(trainSet), 0)
+	rep := f.deployRound(0, ups, admitted, len(trainSet), 0, lats)
 	f.round = 1
 	f.wall += time.Since(start).Seconds()
 	return rep
@@ -287,7 +297,7 @@ func (f *Fleet) RunRound(n int) RoundReport {
 	start := time.Now()
 	round := f.round
 	want := f.broadcast(workerCmd{kind: cmdCapture, round: round, n: n})
-	ups := f.collectUploads(round, want)
+	ups, lats := f.collectUploads(round, want, start)
 	admitted, trainSet, calibs := f.admit(ups)
 
 	locked := 0
@@ -317,7 +327,7 @@ func (f *Fleet) RunRound(n int) RoundReport {
 		f.cloudDiag.SetThreshold(0.5*prev + 0.5*f.cloudDiag.Threshold())
 	}
 
-	rep := f.deployRound(round, ups, admitted, len(trainSet), locked)
+	rep := f.deployRound(round, ups, admitted, len(trainSet), locked, lats)
 	f.round++
 	f.wall += time.Since(start).Seconds()
 	return rep
@@ -350,9 +360,12 @@ func (f *Fleet) broadcast(cmd workerCmd) int {
 
 // collect gathers `want` responses of the given kind/round from the
 // shared results queue, discarding stale leftovers from timed-out
-// phases. Returns per-node-id messages; missing ids timed out.
-func (f *Fleet) collect(kind cmdKind, round, want int) map[int]roundMsg {
+// phases. Returns per-node-id messages plus each node's wall-clock
+// arrival latency since start (the health plane's admission-latency
+// signal; latencies never enter RoundReports). Missing ids timed out.
+func (f *Fleet) collect(kind cmdKind, round, want int, start time.Time) (map[int]roundMsg, map[int]float64) {
 	got := make(map[int]roundMsg, want)
+	lats := make(map[int]float64, want)
 	var timeout <-chan time.Time
 	if f.Cfg.RoundTimeout > 0 {
 		timer := time.NewTimer(f.Cfg.RoundTimeout)
@@ -367,24 +380,25 @@ func (f *Fleet) collect(kind cmdKind, round, want int) map[int]roundMsg {
 				continue
 			}
 			got[m.node] = m
+			lats[m.node] = time.Since(start).Seconds()
 		case <-timeout:
-			return got
+			return got, lats
 		}
 	}
-	return got
+	return got, lats
 }
 
 // collectUploads normalizes the capture phase into a dense per-node
 // slice (nil = timed out), restoring node-id order so every later step
 // is deterministic regardless of goroutine scheduling.
-func (f *Fleet) collectUploads(round, want int) []*uploadData {
-	msgs := f.collect(cmdCapture, round, want)
+func (f *Fleet) collectUploads(round, want int, start time.Time) ([]*uploadData, map[int]float64) {
+	msgs, lats := f.collect(cmdCapture, round, want, start)
 	ups := make([]*uploadData, len(f.nodes))
 	for id, m := range msgs {
 		up := m.up
 		ups[id] = &up
 	}
-	return ups
+	return ups, lats
 }
 
 // admit applies the per-round admission cap in node-id order, pools the
@@ -416,15 +430,16 @@ func (f *Fleet) admit(ups []*uploadData) (admitted []int, trainSet, calibs []dat
 
 // deployRound publishes one bundle version, fans it out to every node
 // over its own downlink, collects the per-node outcomes and assembles
-// the round report.
-func (f *Fleet) deployRound(round int, ups []*uploadData, admitted []int, trained, locked int) RoundReport {
+// the round report. admitLats carries the capture phase's wall-clock
+// arrival latencies for the health plane.
+func (f *Fleet) deployRound(round int, ups []*uploadData, admitted []int, trained, locked int, admitLats map[int]float64) RoundReport {
 	f.cloudVersion++
 	bundle, err := deploy.Pack(f.cloudVersion, f.cloudInfer, f.cloudJig, f.cloudDiag.Threshold())
 	if err != nil {
 		panic(fmt.Sprintf("fleet: packing deployment: %v", err))
 	}
 	want := f.broadcast(workerCmd{kind: cmdDeploy, round: round, bundle: bundle})
-	deps := f.collect(cmdDeploy, round, want)
+	deps, _ := f.collect(cmdDeploy, round, want, time.Now())
 
 	rep := RoundReport{
 		Round:        round,
@@ -491,6 +506,7 @@ func (f *Fleet) deployRound(round int, ups []*uploadData, admitted []int, traine
 		rep.MeanAccuracy = accSum / float64(accN)
 	}
 	f.record(rep)
+	f.recordHealth(rep, admitLats, deps)
 	return rep
 }
 

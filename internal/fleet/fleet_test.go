@@ -142,9 +142,11 @@ func TestFleetBackpressureQueueDepthOne(t *testing.T) {
 func TestFleetStragglerTimesOutAndRejoins(t *testing.T) {
 	t.Parallel()
 	cfg := testCfg(3)
-	// Generous: loaded CI runners under -race must not time out the
-	// responsive nodes alongside the deliberately stalled one.
-	cfg.RoundTimeout = 2 * time.Second
+	// One generous timeout for both rounds, fixed before the workers
+	// spawn: mutating Cfg mid-run races with worker reads of it, and the
+	// margin only needs to beat the responsive nodes — the straggler
+	// blocks on a channel, so it times out no matter how wide this is.
+	cfg.RoundTimeout = 10 * time.Second
 	f := New(cfg)
 	defer f.Close()
 
@@ -167,10 +169,9 @@ func TestFleetStragglerTimesOutAndRejoins(t *testing.T) {
 		t.Fatal("bootstrap should have trained on the responsive nodes' uploads")
 	}
 
-	// Unblock the straggler and give the next round room to finish; its
-	// stale round-0 answers must be discarded, not mistaken for round 1.
+	// Unblock the straggler; its stale round-0 answers must be
+	// discarded, not mistaken for round 1.
 	close(release)
-	f.Cfg.RoundTimeout = 10 * time.Second
 	rep := f.RunRound(16)
 	for id, nr := range rep.Nodes {
 		if nr.TimedOut {

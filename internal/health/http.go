@@ -1,0 +1,55 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"insitu/internal/telemetry"
+)
+
+// Routes returns the health plane's HTTP endpoints for
+// telemetry.ServeDebug:
+//
+//	/healthz   {"status": "ok|degraded|unhealthy", counts...} — 503
+//	           when any node is Unhealthy, so probes and CI can gate
+//	           on the status code alone
+//	/fleetz    the full FleetStatus JSON (what insitu-top renders)
+func (t *Tracker) Routes() []telemetry.Route {
+	return []telemetry.Route{
+		{Pattern: "/healthz", Handler: http.HandlerFunc(t.serveHealthz)},
+		{Pattern: "/fleetz", Handler: http.HandlerFunc(t.serveFleetz)},
+	}
+}
+
+// healthzBody is the /healthz response document.
+type healthzBody struct {
+	Status    string `json:"status"`
+	Healthy   int    `json:"healthy"`
+	Degraded  int    `json:"degraded"`
+	Unhealthy int    `json:"unhealthy"`
+	Unknown   int    `json:"unknown"`
+	Rounds    int    `json:"rounds"`
+}
+
+func (t *Tracker) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	snap := t.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	if snap.Unhealthy > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(healthzBody{
+		Status:    snap.Status(),
+		Healthy:   snap.Healthy,
+		Degraded:  snap.Degraded,
+		Unhealthy: snap.Unhealthy,
+		Unknown:   snap.Unknown,
+		Rounds:    snap.Rounds,
+	})
+}
+
+func (t *Tracker) serveFleetz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(t.Snapshot())
+}

@@ -122,10 +122,12 @@ func (f Flags) Enabled() bool {
 
 // Start applies the flags: it builds the registry, turns on
 // instrumentation everywhere, opens the trace sink and the debug server.
-// The returned Session is non-nil even when everything is disabled (all
-// fields nil-safe); call Close before exit to flush the trace and emit
-// the final dump.
-func Start(f Flags) (*Session, error) {
+// Extra routes (e.g. the fleet health plane's /healthz and /fleetz) are
+// mounted on the debug server when -pprof-addr is set. The returned
+// Session is non-nil even when everything is disabled (all fields
+// nil-safe); call Close before exit to flush the trace and emit the
+// final dump.
+func Start(f Flags, routes ...telemetry.Route) (*Session, error) {
 	s := &Session{dump: f.Telemetry}
 	if !f.Enabled() {
 		return s, nil
@@ -150,7 +152,7 @@ func Start(f Flags) (*Session, error) {
 		ckpt.SetTracer(s.Tracer)
 	}
 	if f.PprofAddr != "" {
-		srv, err := telemetry.ServeDebug(f.PprofAddr, s.Registry)
+		srv, err := telemetry.ServeDebug(f.PprofAddr, s.Registry, routes...)
 		if err != nil {
 			return nil, fmt.Errorf("obs: starting debug server: %w", err)
 		}

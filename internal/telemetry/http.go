@@ -22,6 +22,14 @@ func PublishExpvar(reg *Registry) {
 	})
 }
 
+// Route is one extra handler for ServeDebug — how subsystems above
+// telemetry (the fleet health plane's /healthz and /fleetz) ride on the
+// same debug server without telemetry importing them.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // ServeDebug starts an HTTP server on addr exposing:
 //
 //	/metrics          Prometheus text dump of reg
@@ -29,13 +37,16 @@ func PublishExpvar(reg *Registry) {
 //	/debug/vars       expvar (memstats + insitu_telemetry)
 //	/debug/pprof/...  the full net/http/pprof suite
 //
-// It listens before returning (so callers can report the bound address,
-// useful with ":0") and serves in a background goroutine; shut it down
-// via the returned server. A dedicated mux keeps the handlers off
-// http.DefaultServeMux.
-func ServeDebug(addr string, reg *Registry) (*http.Server, error) {
+// plus any extra routes. It listens before returning (so callers can
+// report the bound address, useful with ":0") and serves in a
+// background goroutine; shut it down via the returned server. A
+// dedicated mux keeps the handlers off http.DefaultServeMux.
+func ServeDebug(addr string, reg *Registry, extra ...Route) (*http.Server, error) {
 	PublishExpvar(reg)
 	mux := http.NewServeMux()
+	for _, r := range extra {
+		mux.Handle(r.Pattern, r.Handler)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_ = reg.WriteProm(w)

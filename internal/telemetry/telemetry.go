@@ -33,6 +33,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing int64 metric.
@@ -55,6 +56,15 @@ func (c *Counter) Value() int64 {
 		return 0
 	}
 	return c.v.Load()
+}
+
+// store overwrites the count; only Registry.LoadSnapshot uses it (a
+// counter is otherwise monotonic).
+func (c *Counter) store(v int64) {
+	if c == nil {
+		return
+	}
+	c.v.Store(v)
 }
 
 // Gauge is a float64 metric that can move both ways.
@@ -165,6 +175,20 @@ func (h *Histogram) BucketCounts() []int64 {
 	return out
 }
 
+// restore overwrites the histogram's state from a snapshot; only
+// Registry.LoadSnapshot uses it. A snapshot whose bucket layout does
+// not match the live histogram is ignored.
+func (h *Histogram) restore(s HistogramSnapshot) {
+	if h == nil || len(s.Buckets) != len(h.buckets) {
+		return
+	}
+	for i, c := range s.Buckets {
+		h.buckets[i].Store(c)
+	}
+	h.count.Store(s.Count)
+	h.sumBits.Store(math.Float64bits(s.Sum))
+}
+
 // ExpBuckets returns n upper bounds starting at start and growing by
 // factor: start, start·factor, start·factor², … Handy for latency
 // histograms spanning several orders of magnitude.
@@ -190,6 +214,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	windows    map[string]*Window
 }
 
 // NewRegistry returns an empty registry.
@@ -198,6 +223,7 @@ func NewRegistry() *Registry {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		windows:    make(map[string]*Window),
 	}
 }
 
@@ -265,6 +291,29 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Window returns the rolling-window histogram with the given name,
+// creating it with the given bounds/span/slots on first use (later
+// calls reuse the existing window and ignore the shape arguments).
+// Returns nil (a valid no-op window) on a nil registry.
+func (r *Registry) Window(name string, bounds []float64, span time.Duration, slots int) *Window {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	w := r.windows[name]
+	r.mu.RUnlock()
+	if w != nil {
+		return w
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w = r.windows[name]; w == nil {
+		w = NewWindow(bounds, span, slots)
+		r.windows[name] = w
+	}
+	return w
+}
+
 // HistogramSnapshot is the JSON form of one histogram.
 type HistogramSnapshot struct {
 	Count   int64     `json:"count"`
@@ -280,6 +329,9 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Gauges     map[string]float64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	// Windows holds each rolling window merged across its live slots —
+	// the last-span view, not the process-lifetime one.
+	Windows map[string]HistogramSnapshot `json:"windows,omitempty"`
 }
 
 // CounterDelta returns s.Counters minus prev.Counters, dropping zero
@@ -321,7 +373,42 @@ func (r *Registry) Snapshot() Snapshot {
 			Buckets: h.BucketCounts(),
 		}
 	}
+	if len(r.windows) > 0 {
+		s.Windows = make(map[string]HistogramSnapshot, len(r.windows))
+		for name, w := range r.windows {
+			s.Windows[name] = w.Snapshot()
+		}
+	}
 	return s
+}
+
+// LoadSnapshot restores a snapshot into the registry, creating any
+// missing metrics: counters and gauges are set to the stored values and
+// histograms get their bounds AND per-bucket counts back, so quantile
+// state survives a checkpoint/resume round trip (a histogram restored
+// from Count/Sum alone would answer every Quantile with zero). Window
+// entries are folded into an existing window's current slot when one
+// with a matching shape is already registered; a snapshot cannot carry
+// the span/slot geometry needed to recreate one from scratch.
+func (r *Registry) LoadSnapshot(s Snapshot) {
+	if r == nil {
+		return
+	}
+	for name, v := range s.Counters {
+		r.Counter(name).store(v)
+	}
+	for name, v := range s.Gauges {
+		r.Gauge(name).Set(v)
+	}
+	for name, hs := range s.Histograms {
+		r.Histogram(name, hs.Bounds).restore(hs)
+	}
+	for name, ws := range s.Windows {
+		r.mu.RLock()
+		w := r.windows[name]
+		r.mu.RUnlock()
+		w.restore(ws)
+	}
 }
 
 // WriteJSON writes the registry snapshot as indented JSON.
@@ -366,9 +453,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		typeLine(name, "gauge")
 		p("%s %v\n", name, s.Gauges[name])
 	}
-	lastType = ""
-	for _, name := range sortedKeys(s.Histograms) {
-		h := s.Histograms[name]
+	emitHist := func(name string, h HistogramSnapshot) {
 		typeLine(name, "histogram")
 		cum := int64(0)
 		for i, b := range h.Bounds {
@@ -378,17 +463,92 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		p("%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
 		p("%s_sum %v\n%s_count %d\n", name, h.Sum, name, h.Count)
 	}
+	lastType = ""
+	for _, name := range sortedKeys(s.Histograms) {
+		emitHist(name, s.Histograms[name])
+	}
+	// Windows render as ordinary histogram families; the rolling-window
+	// semantics only change WHAT the counts cover, not the exposition.
+	lastType = ""
+	for _, name := range sortedKeys(s.Windows) {
+		emitHist(name, s.Windows[name])
+	}
 	return err
 }
+
+// MaxLabelValueLen caps sanitized label values: per-node series derive
+// their labels from ids and hostnames, and an unbounded hostile value
+// would bloat every exposition line that carries it.
+const MaxLabelValueLen = 120
 
 // Label renders a metric name with one Prometheus-style label pair:
 // Label("fleet_uploads_total", "node", "3") → `fleet_uploads_total{node="3"}`.
 // The fleet uses it to give every simulated node its own counter series
 // under a shared base name; WriteProm groups the variants under one
-// # TYPE line. Label values are escaped per the text exposition format.
+// # TYPE line.
+//
+// Both parts are sanitized rather than escaped: the key is reduced to
+// the [a-zA-Z_][a-zA-Z0-9_]* charset the exposition format requires,
+// and the value has `"`, `\`, newlines and braces replaced with `_`
+// and is capped at MaxLabelValueLen bytes. Escaping was the previous
+// approach, but a registry key is also a map key — two values that
+// differ only in escaping would collide or, worse, a crafted value
+// could smuggle a second label pair into the series name. Sanitized
+// series can never emit malformed exposition text.
 func Label(name, key, value string) string {
-	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
-	return name + "{" + key + `="` + r.Replace(value) + `"}`
+	return name + "{" + sanitizeLabelKey(key) + `="` + SanitizeLabelValue(value) + `"}`
+}
+
+// SanitizeLabelValue makes a string safe to embed as a Prometheus label
+// value without escaping: `"`, `\`, newlines, carriage returns and
+// braces become `_`, and the result is truncated to MaxLabelValueLen
+// bytes. Clean values are returned unchanged (no allocation).
+func SanitizeLabelValue(v string) string {
+	if len(v) > MaxLabelValueLen {
+		v = v[:MaxLabelValueLen]
+	}
+	if !strings.ContainsAny(v, "\"\\\n\r{}") {
+		return v
+	}
+	b := []byte(v)
+	for i, c := range b {
+		switch c {
+		case '"', '\\', '\n', '\r', '{', '}':
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// sanitizeLabelKey forces a label key into [a-zA-Z_][a-zA-Z0-9_]*.
+func sanitizeLabelKey(k string) string {
+	if k == "" {
+		return "_"
+	}
+	clean := true
+	for i := 0; i < len(k); i++ {
+		if !isLabelKeyByte(k[i], i == 0) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return k
+	}
+	b := []byte(k)
+	for i := range b {
+		if !isLabelKeyByte(b[i], i == 0) {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+func isLabelKeyByte(c byte, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
 }
 
 // promBase strips a {label} suffix, returning the series' base name.

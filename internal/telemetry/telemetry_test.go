@@ -215,14 +215,14 @@ func TestServeDebug(t *testing.T) {
 	}
 }
 
-// Labeled series built with Label must render prom-escaped label values
+// Labeled series built with Label must render sanitized label values
 // and share ONE # TYPE line per base name in the exposition dump.
 func TestLabeledSeries(t *testing.T) {
 	if got := Label("fleet_uploads_total", "node", "3"); got != `fleet_uploads_total{node="3"}` {
 		t.Fatalf("Label = %q", got)
 	}
-	if got := Label("m", "k", `a"b\c`); got != `m{k="a\"b\\c"}` {
-		t.Fatalf("Label escaping = %q", got)
+	if got := Label("m", "k", `a"b\c`); got != `m{k="a_b_c"}` {
+		t.Fatalf("Label sanitizing = %q", got)
 	}
 	r := NewRegistry()
 	r.Counter(Label("fleet_uploads_total", "node", "0")).Add(2)

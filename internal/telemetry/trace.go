@@ -110,20 +110,59 @@ func (t *Tracer) Flush() error {
 	return t.err
 }
 
+// DurationStats aggregates the dur_ns attribute of one span kind.
+type DurationStats struct {
+	Count   int
+	TotalNs int64
+	MaxNs   int64
+}
+
+// MeanNs returns the mean span duration (0 when no spans were seen).
+func (d DurationStats) MeanNs() int64 {
+	if d.Count == 0 {
+		return 0
+	}
+	return d.TotalNs / int64(d.Count)
+}
+
+// maxTraceErrors bounds how many per-line errors ValidateTrace retains;
+// a corrupt multi-megabyte trace should not balloon into a multi-
+// megabyte error report.
+const maxTraceErrors = 20
+
 // TraceStats summarizes a validated JSONL trace.
 type TraceStats struct {
 	Records int
 	// ByEvent counts records per event name.
 	ByEvent map[string]int
+	// Durations aggregates dur_ns per event for span records (records
+	// without a dur_ns attribute contribute nothing).
+	Durations map[string]DurationStats
+	// InvalidLines counts lines that failed validation; Errors carries
+	// the first maxTraceErrors of them. Validation continues past bad
+	// lines so one corrupt record cannot hide the rest of the report.
+	InvalidLines int
+	Errors       []error
 }
 
 // ValidateTrace reads a JSONL trace stream and checks that every line is
 // a well-formed record, sequence numbers increase by exactly one from 1,
-// and timestamps are non-negative and non-decreasing. It returns
-// per-event counts so callers (tests, make trace-smoke) can assert
-// coverage.
+// and timestamps are non-negative and non-decreasing. It scans the WHOLE
+// stream, accumulating every violation into the returned stats (capped
+// at maxTraceErrors retained errors) and returning the first one as err,
+// plus per-event counts and span-duration aggregates so callers (tests,
+// make trace-smoke, insitu-tracecheck -stats) can assert coverage.
 func ValidateTrace(r io.Reader) (TraceStats, error) {
-	stats := TraceStats{ByEvent: make(map[string]int)}
+	stats := TraceStats{
+		ByEvent:   make(map[string]int),
+		Durations: make(map[string]DurationStats),
+	}
+	fail := func(err error) {
+		stats.InvalidLines++
+		if len(stats.Errors) < maxTraceErrors {
+			stats.Errors = append(stats.Errors, err)
+		}
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	var lastSeq, lastTs int64
@@ -136,23 +175,39 @@ func ValidateTrace(r io.Reader) (TraceStats, error) {
 		}
 		var rec Record
 		if err := json.Unmarshal(raw, &rec); err != nil {
-			return stats, fmt.Errorf("trace line %d: invalid JSON: %w", line, err)
+			fail(fmt.Errorf("trace line %d: invalid JSON: %w", line, err))
+			continue
 		}
 		if rec.Event == "" {
-			return stats, fmt.Errorf("trace line %d: missing event name", line)
+			fail(fmt.Errorf("trace line %d: missing event name", line))
+			continue
 		}
 		if rec.Seq != lastSeq+1 {
-			return stats, fmt.Errorf("trace line %d: seq %d after %d (want +1)", line, rec.Seq, lastSeq)
+			fail(fmt.Errorf("trace line %d: seq %d after %d (want +1)", line, rec.Seq, lastSeq))
 		}
 		if rec.Ts < lastTs {
-			return stats, fmt.Errorf("trace line %d: timestamp %d ns regressed below %d ns", line, rec.Ts, lastTs)
+			fail(fmt.Errorf("trace line %d: timestamp %d ns regressed below %d ns", line, rec.Ts, lastTs))
 		}
+		// Resync on the observed values so one gap reports once instead
+		// of cascading into an error per remaining line.
 		lastSeq, lastTs = rec.Seq, rec.Ts
 		stats.Records++
 		stats.ByEvent[rec.Event]++
+		if dur, ok := rec.Attrs["dur_ns"].(float64); ok {
+			d := stats.Durations[rec.Event]
+			d.Count++
+			d.TotalNs += int64(dur)
+			if int64(dur) > d.MaxNs {
+				d.MaxNs = int64(dur)
+			}
+			stats.Durations[rec.Event] = d
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return stats, err
+		fail(err)
+	}
+	if len(stats.Errors) > 0 {
+		return stats, stats.Errors[0]
 	}
 	return stats, nil
 }
