@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-short bench-smoke bench-kernels bench-kernels-json bench-json bench-diff trace-smoke fault-smoke crash-smoke fleet-smoke health-smoke clean
+.PHONY: check vet build test race race-short bench-smoke bench-kernels bench-kernels-json bench-json bench-diff trace-smoke fault-smoke crash-smoke fleet-smoke health-smoke wire-smoke clean
 
 check: vet build race bench-smoke
 
@@ -69,10 +69,12 @@ trace-smoke:
 		-require core.stage,core.upload,core.deploy,planner.plan trace-smoke.jsonl
 	rm -f trace-smoke.jsonl
 
-# Resilience proof: fuzz the CRC-framed bundle decoder briefly, then run
-# a closed-loop node simulation over a lossy downlink with an outage
-# window — retries, rollback and graceful degradation must not panic.
+# Resilience proof: fuzz the CRC-framed bundle decoder and the wire
+# frame decoder briefly, then run a closed-loop node simulation over a
+# lossy downlink with an outage window — retries, rollback and graceful
+# degradation must not panic.
 fault-smoke:
+	$(GO) test -run Fuzz -fuzz FuzzFrame -fuzztime 10s ./internal/wire
 	$(GO) test -run Fuzz -fuzz FuzzDecode -fuzztime 10s ./internal/deploy
 	$(GO) run ./cmd/insitu-node -variant d -bootstrap 24 -stages 16,16 -classes 4 \
 		-fault-rate 0.4 -outage 1:2 >/dev/null
@@ -118,6 +120,13 @@ health-smoke:
 	$(GO) run ./cmd/insitu-top -once -snapshot health-smoke.json -require-verdicts
 	grep -q '"unhealthy": 1' health-smoke.json
 	rm -f health-smoke.json health-smoke.jsonl
+
+# Wire proof: the fleet across real process boundaries. Four legs (all
+# race-built): in-process baseline, cloud + 2 insitu-node processes over
+# TCP, the same through a lossy insitu-proxy, and a crash/resume of the
+# cloud process — every leg's stdout must be byte-identical.
+wire-smoke:
+	./scripts/wire_smoke.sh
 
 clean:
 	rm -f trace-smoke.jsonl fleet-smoke.jsonl health-smoke.json health-smoke.jsonl bench-diff-fresh.json

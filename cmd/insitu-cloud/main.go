@@ -1,0 +1,52 @@
+// Command insitu-cloud is the standalone Cloud server of the wire
+// deployment: the same round-synchronous fleet loop as insitu-fleet,
+// but its N nodes are real insitu-node processes on the far side of
+// TCP connections speaking the internal/wire protocol:
+//
+//	insitu-cloud -listen 127.0.0.1:9433 -nodes 2 -rounds 24 &
+//	insitu-node -connect 127.0.0.1:9433 -node-id 0 &
+//	insitu-node -connect 127.0.0.1:9433 -node-id 1 &
+//
+// The cloud blocks until all -nodes agents have handshaken, then runs
+// the schedule exactly as the in-process binary would: same flags,
+// same checkpoint format (-state-dir / -resume restore node state over
+// the wire), same health plane (/fleetz with -pprof-addr), and
+// byte-identical stdout for the same seeds — `make wire-smoke` diffs
+// the two.
+//
+// Transport faults (drops, corruption, delays — e.g. from
+// insitu-proxy) are absorbed by CRC framing, retransmission and
+// idempotent commands; the *simulated* LossyLink faults stay node-side
+// so the reports match the in-process run bit for bit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"insitu/internal/fleet"
+	"insitu/internal/fleetcli"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9433", "address to accept insitu-node connections on")
+	var o fleetcli.Options
+	o.AddFlags(flag.CommandLine)
+	flag.Parse()
+	os.Exit(o.Run("insitu-cloud", func(cfg fleet.Config) (*fleet.Fleet, error) {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return nil, err
+		}
+		defer ln.Close() // all slots filled (or failed); no more accepts
+		fmt.Fprintf(os.Stderr, "listening on %s, waiting for %d node(s)...\n", ln.Addr(), cfg.Nodes)
+		f, err := fleet.Listen(cfg, ln)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "all %d node(s) connected\n", cfg.Nodes)
+		return f, nil
+	}))
+}

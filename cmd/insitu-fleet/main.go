@@ -27,291 +27,25 @@
 // the final fleet status JSON for insitu-top -once. -drift-drop tunes
 // the drift monitor (0 disables it — the EXPERIMENTS ablation knob) and
 // -admit-p99-slo adds a latency SLO.
+//
+// The same driver also runs across real process boundaries: see
+// cmd/insitu-cloud (the wire server) and insitu-node -connect (the
+// agent). For the same flags both deployments print identical stdout.
 package main
 
 import (
-	"encoding/json"
-	"errors"
 	"flag"
-	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
-	"insitu/internal/ckpt"
-	"insitu/internal/core"
 	"insitu/internal/fleet"
-	"insitu/internal/health"
-	"insitu/internal/metrics"
-	"insitu/internal/netsim"
-	"insitu/internal/obs"
+	"insitu/internal/fleetcli"
 )
 
-func parseInts(arg, what string) []int {
-	var out []int
-	if strings.TrimSpace(arg) == "" {
-		return out
-	}
-	for _, part := range strings.Split(arg, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 0 {
-			fmt.Fprintf(os.Stderr, "bad %s %q\n", what, part)
-			os.Exit(2)
-		}
-		out = append(out, n)
-	}
-	return out
-}
-
 func main() {
-	nodes := flag.Int("nodes", 4, "fleet size N")
-	variant := flag.String("variant", "d", "IoT system variant: a, b, c or d")
-	bootstrap := flag.Int("bootstrap", 64, "per-node bootstrap capture size")
-	roundsArg := flag.String("rounds", "48,48", "comma-separated per-node capture counts per round")
-	seed := flag.Uint64("seed", 7, "simulation seed")
-	classes := flag.Int("classes", 5, "object classes in the synthetic world")
-	severity := flag.Float64("severity", 0.7, "in-situ condition severity [0,1]")
-	outageNodes := flag.String("outage-nodes", "", "comma-separated node ids in permanent link blackout")
-	uplinkFaultRate := flag.Float64("uplink-fault-rate", 0,
-		"per-transfer probability an upload batch is lost (half corruption, half drops)")
-	queueDepth := flag.Int("queue-depth", 0, "server ingestion queue bound in messages (0 = N)")
-	maxRoundSamples := flag.Int("max-round-samples", 0, "per-round retrain admission cap in samples (0 = unlimited)")
-	killAfter := flag.Int("kill-after-round", -1,
-		"SIGKILL the process right after this round's checkpoint lands (crash-injection; needs -state-dir)")
-	driftDrop := flag.Float64("drift-drop", 0.15,
-		"degrade a node whose EWMA accuracy falls this far below its deploy-time baseline (0 disables the drift monitor)")
-	admitP99SLO := flag.Float64("admit-p99-slo", 0,
-		"degrade a node whose windowed p99 admission latency exceeds this many seconds (0 disables)")
-	healthOut := flag.String("health-out", "",
-		"write the final fleet health status (the /fleetz document) to this JSON file")
-	var obsFlags obs.Flags
-	obsFlags.AddFlags(flag.CommandLine)
+	var o fleetcli.Options
+	o.AddFlags(flag.CommandLine)
 	flag.Parse()
-
-	var kind core.SystemKind
-	switch *variant {
-	case "a":
-		kind = core.SystemCloudAll
-	case "b":
-		kind = core.SystemCloudDiagnosis
-	case "c":
-		kind = core.SystemInSituDiagnosis
-	case "d":
-		kind = core.SystemInSituAI
-	default:
-		fmt.Fprintf(os.Stderr, "unknown variant %q (want a, b, c or d)\n", *variant)
-		os.Exit(2)
-	}
-	rounds := parseInts(*roundsArg, "round size")
-
-	downFaults, err := obsFlags.Faults(*seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "insitu-fleet:", err)
-		os.Exit(2)
-	}
-
-	hslo := health.SLO{AdmitP99Seconds: *admitP99SLO}
-	if *driftDrop <= 0 {
-		hslo.DriftDisabled = true
-	} else {
-		hslo.DriftDrop = *driftDrop
-	}
-	tracker := health.NewTracker(hslo)
-
-	session, err := obs.Start(obsFlags, tracker.Routes()...)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "insitu-fleet:", err)
-		os.Exit(1)
-	}
-	tracker.AttachTelemetry(session.Registry)
-
-	cfg := fleet.DefaultConfig(kind, *nodes, *seed)
-	cfg.Classes = *classes
-	cfg.Severity = *severity
-	cfg.DownlinkFaults = downFaults
-	cfg.UplinkFaults = netsim.FaultConfig{
-		CorruptProb: *uplinkFaultRate / 2,
-		DropProb:    *uplinkFaultRate / 2,
-	}
-	cfg.OutageNodes = parseInts(*outageNodes, "outage node id")
-	cfg.QueueDepth = *queueDepth
-	cfg.MaxRoundSamples = *maxRoundSamples
-	cfg.Trace = session.Tracer
-	cfg.Health = tracker
-
-	store, err := obsFlags.OpenStore()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "insitu-fleet:", err)
-		os.Exit(1)
-	}
-	if *killAfter >= 0 && store == nil {
-		fmt.Fprintln(os.Stderr, "insitu-fleet: -kill-after-round requires -state-dir")
-		os.Exit(2)
-	}
-
-	// Fresh start, or resume from the latest good snapshot: the
-	// round-synchronous fleet is deterministic, so a resumed run's
-	// report history byte-matches an uninterrupted one's.
-	var fl *fleet.Fleet
-	var ckp *fleet.Checkpointer
-	if obsFlags.Resume {
-		c, rerr := fleet.ResumeCheckpointer(store, cfg, obsFlags.CkptEvery)
-		switch {
-		case rerr == nil:
-			ckp = c
-			fl = c.Fleet()
-			fmt.Fprintf(os.Stderr, "resumed from %s at round %d\n", store.Dir(), fl.Round()-1)
-		case errors.Is(rerr, ckpt.ErrNoSnapshot):
-			fmt.Fprintln(os.Stderr, "no snapshot to resume from; starting fresh")
-		default:
-			fmt.Fprintln(os.Stderr, "insitu-fleet:", rerr)
-			os.Exit(1)
-		}
-	}
-	if fl == nil {
-		fl = fleet.New(cfg)
-		if store != nil {
-			ckp = fleet.NewCheckpointer(store, fl, obsFlags.CkptEvery)
-		}
-	}
-	if ckp != nil && session.Registry != nil {
-		// Snapshots carry the registry (histogram buckets included) so
-		// quantile state survives a crash; on resume the stored snapshot
-		// lands back in the live registry here.
-		ckp.AttachRegistry(session.Registry)
-	}
-	defer fl.Close()
-
-	t := metrics.NewTable(
-		fmt.Sprintf("In-situ AI fleet simulation — %d nodes, variant %s (%v)", *nodes, *variant, kind),
-		"round", "uploaded", "admitted", "trained", "cloud (s)",
-		"cloud/node (s)", "mean acc", "model", "failures")
-	add := func(r fleet.RoundReport) {
-		failures := 0
-		for _, nr := range r.Nodes {
-			if nr.UploadFailed || nr.DeployFailed || nr.TimedOut {
-				failures++
-			}
-		}
-		t.AddRow(fmt.Sprintf("%d", r.Round),
-			fmt.Sprintf("%d", r.Uploaded),
-			fmt.Sprintf("%d", r.Admitted),
-			fmt.Sprintf("%d", r.Trained),
-			fmt.Sprintf("%.2f", r.CloudCost.Seconds),
-			fmt.Sprintf("%.2f", r.PerNodeCloudCost.Seconds),
-			fmt.Sprintf("%.3f", r.MeanAccuracy),
-			fmt.Sprintf("v%d", r.CloudVersion),
-			fmt.Sprintf("%d/%d", failures, len(r.Nodes)))
-	}
-
-	// captured counts only the rounds this process ran: WallSeconds does
-	// not cover a resumed run's pre-crash rounds either.
-	captured := 0
-	record := func(r fleet.RoundReport) {
-		add(r)
-		for _, nr := range r.Nodes {
-			captured += nr.Captured
-		}
-		if ckp != nil {
-			if err := ckp.OnRound(r); err != nil {
-				fmt.Fprintln(os.Stderr, "insitu-fleet: checkpoint:", err)
-				os.Exit(1)
-			}
-		}
-		if *killAfter >= 0 && r.Round == *killAfter {
-			// Crash injection: die the hard way, no cleanup, no flush —
-			// exactly what the checkpoint discipline must survive.
-			fmt.Fprintf(os.Stderr, "crash injection: SIGKILL after round %d\n", r.Round)
-			proc, _ := os.FindProcess(os.Getpid())
-			_ = proc.Kill()
-			select {}
-		}
-	}
-
-	// A resumed run re-prints the completed rounds from the snapshot's
-	// history, then continues with the remaining schedule.
-	done := 0
-	var last fleet.RoundReport
-	if ckp != nil {
-		for _, r := range ckp.History() {
-			add(r)
-			last = r
-		}
-		done = len(ckp.History())
-	}
-	if done == 0 {
-		fmt.Fprintf(os.Stderr, "bootstrapping %d nodes (%d images each)...\n", *nodes, *bootstrap)
-		last = fl.Bootstrap(*bootstrap)
-		record(last)
-		done = 1
-	}
-	for i := done - 1; i < len(rounds); i++ {
-		n := rounds[i]
-		fmt.Fprintf(os.Stderr, "round %d (%d images per node)...\n", i+1, n)
-		last = fl.RunRound(n)
-		record(last)
-	}
-	if ckp != nil && len(ckp.History())%ckp.Every != 0 {
-		if err := ckp.Save(); err != nil {
-			fmt.Fprintln(os.Stderr, "insitu-fleet: checkpoint:", err)
-			os.Exit(1)
-		}
-	}
-	fmt.Println(t.String())
-
-	// Final per-node view of the last round.
-	nt := metrics.NewTable("per-node outcome (final round)",
-		"node", "captured", "uploaded", "upload frac", "uplink (J)",
-		"accuracy", "model", "status")
-	for _, nr := range last.Nodes {
-		status := fmt.Sprintf("ok(%d)", nr.DeployAttempts)
-		switch {
-		case nr.TimedOut:
-			status = "TIMED OUT"
-		case nr.DeployFailed:
-			status = fmt.Sprintf("DEPLOY FAILED(%d)", nr.DeployAttempts)
-		case nr.UploadFailed:
-			status = "upload lost"
-		}
-		if nr.StaleModel {
-			status += " stale"
-		}
-		nt.AddRow(fmt.Sprintf("%d", nr.Node),
-			fmt.Sprintf("%d", nr.Captured),
-			fmt.Sprintf("%d", nr.Uploaded),
-			fmt.Sprintf("%.2f", nr.UploadFrac),
-			fmt.Sprintf("%.3f", nr.UplinkJoules),
-			fmt.Sprintf("%.3f", nr.NodeAccuracy),
-			fmt.Sprintf("v%d", nr.ModelVersion),
-			status)
-	}
-	fmt.Println(nt.String())
-
-	// Stderr, not stdout: wall-clock varies run to run, and stdout is
-	// byte-compared between crashed-and-resumed and uninterrupted runs.
-	if wall := fl.WallSeconds(); wall > 0 && captured > 0 {
-		fmt.Fprintf(os.Stderr, "aggregate throughput: %d images in %.2fs wall = %.1f imgs/s across %d nodes\n",
-			captured, wall, float64(captured)/wall, *nodes)
-	}
-
-	// Health summary: stderr one-liner always (wall-clock-derived, so
-	// never stdout), full document to -health-out for insitu-top -once.
-	hs := tracker.Snapshot()
-	fmt.Fprintf(os.Stderr, "fleet health: %s (%d healthy / %d degraded / %d unhealthy / %d unknown)\n",
-		hs.Status(), hs.Healthy, hs.Degraded, hs.Unhealthy, hs.Unknown)
-	if *healthOut != "" {
-		buf, err := json.MarshalIndent(hs, "", "  ")
-		if err == nil {
-			err = os.WriteFile(*healthOut, append(buf, '\n'), 0o644)
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "insitu-fleet: writing -health-out:", err)
-			os.Exit(1)
-		}
-	}
-
-	if err := session.Close(os.Stderr); err != nil {
-		fmt.Fprintln(os.Stderr, "insitu-fleet:", err)
-		os.Exit(1)
-	}
+	os.Exit(o.Run("insitu-fleet", func(cfg fleet.Config) (*fleet.Fleet, error) {
+		return fleet.New(cfg), nil
+	}))
 }

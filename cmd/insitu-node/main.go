@@ -22,19 +22,29 @@
 // to an uninterrupted run. -kill-after-stage N SIGKILLs the process
 // right after stage N checkpoints — the deterministic crash used by
 // `make crash-smoke`.
+//
+// Agent mode: -connect ADDR abandons the standalone simulation and
+// instead serves as one node of a wire-protocol fleet (see
+// cmd/insitu-cloud). The cloud pushes the node's whole configuration in
+// the Welcome handshake, so the simulation flags above are ignored:
+//
+//	insitu-node -connect 127.0.0.1:9433 -node-id 0
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"insitu/internal/ckpt"
 	"insitu/internal/core"
 	"insitu/internal/device"
+	"insitu/internal/fleet"
 	"insitu/internal/gpusim"
 	"insitu/internal/metrics"
 	"insitu/internal/models"
@@ -43,7 +53,34 @@ import (
 	"insitu/internal/planner"
 )
 
+// runAgent dials the cloud (retrying while it comes up) and serves the
+// wire protocol until the cloud says Bye or the connection dies.
+func runAgent(addr string, nodeID int) int {
+	var conn net.Conn
+	var err error
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		conn, err = net.Dial("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintln(os.Stderr, "insitu-node: connect:", err)
+			return 1
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	if err := fleet.RunAgent(conn, nodeID); err != nil {
+		fmt.Fprintln(os.Stderr, "insitu-node:", err)
+		return 1
+	}
+	return 0
+}
+
 func main() {
+	connect := flag.String("connect", "",
+		"cloud address to serve as a wire-protocol fleet node (agent mode; simulation flags are ignored)")
+	nodeID := flag.Int("node-id", -1, "requested fleet node id in -connect mode (-1 = cloud assigns)")
 	variant := flag.String("variant", "d", "IoT system variant: a, b, c or d")
 	bootstrap := flag.Int("bootstrap", 100, "bootstrap capture size")
 	stagesArg := flag.String("stages", "200,400,800", "comma-separated per-stage capture counts")
@@ -56,6 +93,10 @@ func main() {
 	var obsFlags obs.Flags
 	obsFlags.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *connect != "" {
+		os.Exit(runAgent(*connect, *nodeID))
+	}
 
 	var kind core.SystemKind
 	switch *variant {

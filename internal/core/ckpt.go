@@ -90,12 +90,14 @@ func (s *System) Checkpoint(w io.Writer) error {
 	}); err != nil {
 		return err
 	}
-	// Uplink meter accumulators.
+	// Link meter accumulators (uplink, retransmit, downlink).
 	if err := ckpt.WriteU64s(bw,
 		uint64(s.meter.Bytes), uint64(s.meter.Items),
 		math.Float64bits(s.meter.Seconds), math.Float64bits(s.meter.Joules),
 		uint64(s.meter.Retransmits), uint64(s.meter.RetransmitBytes),
 		math.Float64bits(s.meter.RetransmitSecs), math.Float64bits(s.meter.RetransmitJoules),
+		uint64(s.meter.Downloads), uint64(s.meter.DownlinkBytes),
+		math.Float64bits(s.meter.DownlinkSecs), math.Float64bits(s.meter.DownlinkJoules),
 	); err != nil {
 		return err
 	}
@@ -201,7 +203,7 @@ func Resume(cfg Config, r io.Reader) (*System, error) {
 		return nil, fmt.Errorf("core: restoring optimizer state: %w", err)
 	}
 
-	meter := make([]uint64, 8)
+	meter := make([]uint64, 12)
 	if err := ckpt.ReadU64s(br, meter); err != nil {
 		return nil, err
 	}
@@ -213,6 +215,10 @@ func Resume(cfg Config, r io.Reader) (*System, error) {
 	s.meter.RetransmitBytes = int64(meter[5])
 	s.meter.RetransmitSecs = math.Float64frombits(meter[6])
 	s.meter.RetransmitJoules = math.Float64frombits(meter[7])
+	s.meter.Downloads = int64(meter[8])
+	s.meter.DownlinkBytes = int64(meter[9])
+	s.meter.DownlinkSecs = math.Float64frombits(meter[10])
+	s.meter.DownlinkJoules = math.Float64frombits(meter[11])
 
 	if s.downlink != nil {
 		link := make([]uint64, 6)

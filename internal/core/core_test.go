@@ -361,3 +361,34 @@ func TestSetFaultsTogglesLink(t *testing.T) {
 		t.Fatal("SetFaults did not clear the lossy downlink")
 	}
 }
+
+// Every stage's reported downlink bytes must land on the meter too: the
+// first transmit of each deploy is real downlink traffic, and the meter
+// and the stage reports share the encoded-frame-length basis.
+func TestDownlinkMeterMatchesStageReports(t *testing.T) {
+	cfg := smallCfg(SystemInSituAI)
+	cfg.Faults = netsim.FaultConfig{Seed: 5, DropProb: 0.3}
+	cfg.DeployRetries = 6
+	sys := NewSystem(cfg)
+	reps := []StageReport{sys.Bootstrap(48), sys.RunStage(32), sys.RunStage(32)}
+
+	var wantBytes, wantRetrans int64
+	var deploys int64
+	for _, rep := range reps {
+		if rep.DeployAttempts > 0 {
+			deploys++
+			wantBytes += rep.DownlinkBytes
+		}
+		wantRetrans += rep.RetransmitBytes
+	}
+	m := sys.Meter()
+	if m.Downloads != deploys {
+		t.Fatalf("meter downloads %d, want %d (one per delivered stage)", m.Downloads, deploys)
+	}
+	if m.DownlinkBytes != wantBytes {
+		t.Fatalf("meter downlink bytes %d, stage reports sum to %d", m.DownlinkBytes, wantBytes)
+	}
+	if m.RetransmitBytes != wantRetrans {
+		t.Fatalf("meter retransmit bytes %d, stage reports sum to %d", m.RetransmitBytes, wantRetrans)
+	}
+}

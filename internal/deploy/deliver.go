@@ -54,7 +54,7 @@ type Downlink struct {
 
 // Result summarizes one bundle's delivery.
 type Result struct {
-	Bytes       int64   // encoded bundle size (downlink cost per delivery)
+	Bytes       int64   // encoded frame length (downlink cost per delivery)
 	Attempts    int     // deliveries tried, including the successful one
 	Retransmits int64   // extra bytes spent on redeliveries
 	Backoff     float64 // modeled seconds spent waiting between attempts
@@ -79,7 +79,15 @@ func (d Downlink) Deliver(b *Bundle, tgt Target) Result {
 		return Result{Version: tgt.Current, Failed: true,
 			Err: fmt.Errorf("deploy: encoding bundle: %w", err)}
 	}
-	out := Result{Bytes: b.Size(), Version: tgt.Current}
+	// Result.Bytes and the retransmit accounting share one basis: the
+	// encoded frame length (== Size() by construction, asserted in tests).
+	out := Result{Bytes: int64(len(frame)), Version: tgt.Current}
+	if d.Meter != nil {
+		// The first transmit costs downlink bytes too — only redeliveries
+		// used to be metered, leaving attempt one invisible to energy
+		// accounting.
+		d.Meter.Download(int64(len(frame)))
+	}
 
 	retries := d.Retries
 	if retries < 1 {
@@ -88,8 +96,15 @@ func (d Downlink) Deliver(b *Bundle, tgt Target) Result {
 	for attempt := 1; attempt <= retries; attempt++ {
 		out.Attempts = attempt
 		if attempt > 1 {
-			// Redelivery: back off, then pay the transmit cost again.
-			out.Backoff += d.BackoffBase * float64(int64(1)<<(attempt-2))
+			// Redelivery: back off, then pay the transmit cost again. The
+			// doubling is capped at 2^62 — beyond that the shift would
+			// overflow int64 and feed garbage (possibly negative) backoff
+			// into the schedule.
+			shift := attempt - 2
+			if shift > 62 {
+				shift = 62
+			}
+			out.Backoff += d.BackoffBase * float64(int64(1)<<shift)
 			if d.Meter != nil {
 				d.Meter.Retransmit(int64(len(frame)))
 			}

@@ -1,0 +1,250 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"insitu/internal/core"
+	"insitu/internal/deploy"
+	"insitu/internal/jigsaw"
+	"insitu/internal/netsim"
+	"insitu/internal/wire"
+)
+
+// The node half of the wire deployment: RunAgent is what an
+// insitu-node process runs against a cloud's Listen. It reconstructs
+// the exact fleetNode a local worker would have been — same Config
+// fields, same seed derivations — so the cloud's RoundReports cannot
+// tell the transports apart.
+
+// RunAgent serves one node session over conn until the cloud says Bye
+// (returns nil) or the stream dies (returns the error). wantID requests
+// a node id; pass -1 to let the cloud assign one.
+func RunAgent(conn net.Conn, wantID int) error {
+	w, err := agentHandshake(conn, wantID)
+	if err != nil {
+		return err
+	}
+	cfg := nodeConfigFromWire(w.Cfg)
+	n := newFleetNode(cfg, int(w.Node), w.Cfg.Outage,
+		jigsaw.NewPermSet(cfg.PermClasses, cfg.Seed+1))
+	return serveAgent(conn, w.Proto, n)
+}
+
+// nodeConfigFromWire rebuilds the fleet Config fields a node consumes.
+func nodeConfigFromWire(w wire.NodeConfig) Config {
+	return Config{
+		Nodes:       1,
+		Kind:        core.SystemKind(w.Kind),
+		Classes:     int(w.Classes),
+		PermClasses: int(w.PermClasses),
+		SharedConvs: int(w.SharedConvs),
+		Probes:      int(w.Probes),
+		Seed:        w.Seed,
+		InSituFrac:  w.InSituFrac,
+		Severity:    w.Severity,
+		Link: netsim.Uplink{
+			Name:          w.LinkName,
+			BandwidthBps:  w.LinkBandwidthBps,
+			EnergyPerByte: w.LinkEnergyPerByte,
+		},
+		DeployRetries:  int(w.DeployRetries),
+		UplinkFaults:   faultSpecFromWire(w.Uplink),
+		DownlinkFaults: faultSpecFromWire(w.Downlink),
+	}
+}
+
+// agentHandshake sends Hello (retransmitting until answered — the
+// first frames may cross a lossy proxy) and returns the Welcome.
+func agentHandshake(conn net.Conn, wantID int) (wire.Welcome, error) {
+	hello, err := wire.EncodeFrame(wire.ProtoMax, wire.MsgHello,
+		wire.Hello{Node: int32(wantID), MinProto: wire.ProtoMin, MaxProto: wire.ProtoMax}.Encode())
+	if err != nil {
+		return wire.Welcome{}, err
+	}
+	if _, err := conn.Write(hello); err != nil {
+		return wire.Welcome{}, fmt.Errorf("fleet: sending hello: %w", err)
+	}
+	for {
+		conn.SetReadDeadline(time.Now().Add(retransmitBase))
+		_, t, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			if errors.Is(err, wire.ErrCRC) {
+				continue
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				// Hello or Welcome was lost in transit; try again.
+				if _, err := conn.Write(hello); err != nil {
+					return wire.Welcome{}, fmt.Errorf("fleet: resending hello: %w", err)
+				}
+				continue
+			}
+			return wire.Welcome{}, fmt.Errorf("fleet: handshake read: %w", err)
+		}
+		switch t {
+		case wire.MsgWelcome:
+			conn.SetReadDeadline(time.Time{})
+			w, err := wire.DecodeWelcome(payload)
+			if err != nil {
+				return wire.Welcome{}, fmt.Errorf("fleet: decoding welcome: %w", err)
+			}
+			return w, nil
+		case wire.MsgError:
+			text, _ := wire.DecodeError(payload)
+			return wire.Welcome{}, fmt.Errorf("fleet: cloud rejected handshake: %s", text)
+		}
+	}
+}
+
+// serveAgent is the node's command loop. Commands are idempotent: the
+// discriminator (round number, or state tag for save/load) only ever
+// moves forward per message kind; a retransmitted duplicate of the
+// current one is answered from the response cache without re-executing
+// (re-running capture would advance the node's RNG streams and fork the
+// simulation), and anything older is ignored.
+func serveAgent(conn net.Conn, proto uint8, n *fleetNode) error {
+	last := map[wire.MsgType]int64{
+		wire.MsgCapture:   -1,
+		wire.MsgDeploy:    -1,
+		wire.MsgStateSave: -1,
+		wire.MsgStateLoad: -1,
+	}
+	cache := make(map[wire.MsgType][]byte)
+	respond := func(req, resp wire.MsgType, disc int64, payload []byte) error {
+		frame, err := wire.EncodeFrame(proto, resp, payload)
+		if err != nil {
+			return err
+		}
+		last[req] = disc
+		cache[req] = frame
+		_, err = conn.Write(frame)
+		return err
+	}
+	for {
+		_, t, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			if errors.Is(err, wire.ErrCRC) {
+				// The cloud's retransmit timer will resend the command.
+				continue
+			}
+			if err == io.EOF {
+				// Clean disconnect at a frame boundary — the cloud closed
+				// the session (its Bye may have been lost in transit).
+				return nil
+			}
+			return err
+		}
+		// Dedup gate: stale duplicates are dropped, current ones answered
+		// from cache. disc < 0 marks kinds without one (Bye).
+		disc := int64(-1)
+		switch t {
+		case wire.MsgCapture, wire.MsgDeploy, wire.MsgStateSave, wire.MsgStateLoad:
+			if len(payload) >= 4 {
+				disc = int64(binary.LittleEndian.Uint32(payload[:4]))
+			}
+		}
+		if prev, tracked := last[t]; tracked && disc >= 0 {
+			if disc < prev {
+				continue
+			}
+			if disc == prev {
+				if frame := cache[t]; frame != nil {
+					if _, err := conn.Write(frame); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+		}
+		switch t {
+		case wire.MsgBye:
+			return nil
+		case wire.MsgCapture:
+			c, derr := wire.DecodeCapture(payload)
+			if derr != nil {
+				return fmt.Errorf("fleet: decoding capture: %w", derr)
+			}
+			msg := n.capture(workerCmd{
+				kind: cmdCapture, round: int(c.Round), n: int(c.N), bootstrap: c.Bootstrap,
+			}, nil)
+			up := msg.up
+			u := wire.Upload{
+				Round:                 c.Round,
+				Captured:              uint32(up.captured),
+				Uploaded:              uint32(up.uploaded),
+				CalibN:                uint32(up.calibN),
+				UpBytes:               up.upBytes,
+				UplinkJ:               up.uplinkJ,
+				UplinkS:               up.uplinkS,
+				Failed:                up.failed,
+				QualityUploadFraction: up.quality.UploadFraction,
+				QualityErrorRecall:    up.quality.ErrorRecall,
+				QualityPrecision:      up.quality.Precision,
+				Samples:               up.samples,
+				Calib:                 up.calib,
+			}
+			pl, derr := u.Encode()
+			if derr != nil {
+				return fmt.Errorf("fleet: encoding upload: %w", derr)
+			}
+			if err := respond(t, wire.MsgUpload, disc, pl); err != nil {
+				return err
+			}
+		case wire.MsgDeploy:
+			dp, derr := wire.DecodeDeploy(payload)
+			if derr != nil {
+				return fmt.Errorf("fleet: decoding deploy: %w", derr)
+			}
+			bundle, derr := deploy.Decode(bytes.NewReader(dp.Bundle))
+			if derr != nil {
+				return fmt.Errorf("fleet: decoding bundle: %w", derr)
+			}
+			msg := n.deploy(workerCmd{kind: cmdDeploy, round: int(dp.Round), bundle: bundle})
+			d := msg.dep
+			r := wire.DeployResult{
+				Round:       dp.Round,
+				Bytes:       d.res.Bytes,
+				Attempts:    uint32(d.res.Attempts),
+				Retransmits: d.res.Retransmits,
+				Backoff:     d.res.Backoff,
+				Version:     d.res.Version,
+				Failed:      d.res.Failed,
+				NodeVersion: d.version,
+				Accuracy:    d.accuracy,
+			}
+			if err := respond(t, wire.MsgDeployResult, disc, r.Encode()); err != nil {
+				return err
+			}
+		case wire.MsgStateSave:
+			tag, derr := wire.DecodeStateSave(payload)
+			if derr != nil {
+				return fmt.Errorf("fleet: decoding state-save: %w", derr)
+			}
+			data, serr := n.stateBytes()
+			if serr != nil {
+				return fmt.Errorf("fleet: serializing node state: %w", serr)
+			}
+			if err := respond(t, wire.MsgStateBlob, disc, wire.EncodeStateBlob(tag, data)); err != nil {
+				return err
+			}
+		case wire.MsgStateLoad:
+			tag, blob, derr := wire.DecodeStateBlob(payload)
+			if derr != nil {
+				return fmt.Errorf("fleet: decoding state-load: %w", derr)
+			}
+			errText := ""
+			if lerr := n.loadStateBytes(blob); lerr != nil {
+				errText = lerr.Error()
+			}
+			if err := respond(t, wire.MsgStateLoaded, disc, wire.EncodeStateLoaded(tag, errText)); err != nil {
+				return err
+			}
+		}
+	}
+}

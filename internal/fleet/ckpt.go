@@ -12,7 +12,6 @@ import (
 	"insitu/internal/ckpt"
 	"insitu/internal/dataset"
 	"insitu/internal/models"
-	"insitu/internal/netsim"
 	"insitu/internal/nn"
 	"insitu/internal/telemetry"
 )
@@ -99,42 +98,22 @@ func (f *Fleet) Checkpoint(w io.Writer) error {
 			return err
 		}
 	}
-	// Every node, in id order.
-	for _, n := range f.nodes {
-		if err := ckpt.WriteU64s(bw,
-			uint64(n.version), n.gen.RNGState(), n.diag.RNGState(),
-			math.Float64bits(n.diag.Threshold()),
-			ckpt.BoolU64(n.uplink != nil), ckpt.BoolU64(n.downlink != nil),
-		); err != nil {
+	// Every node's state as one framed blob, in id order. The blob comes
+	// back through the peer (local worker or remote process over
+	// MsgStateSave), so the checkpoint stream is byte-identical across
+	// deployment shapes and a local checkpoint restores into a remote
+	// fleet and vice versa.
+	for _, p := range f.peers {
+		rep := peerState(p, workerCmd{kind: cmdStateSave, round: f.round})
+		if rep.err != nil {
+			return fmt.Errorf("fleet: saving node %d state: %w", p.id(), rep.err)
+		}
+		blob := rep.data
+		if err := ckpt.WriteBlob(bw, func(w io.Writer) error {
+			_, err := w.Write(blob)
 			return err
-		}
-		if err := ckpt.WriteU64s(bw,
-			uint64(n.meter.Bytes), uint64(n.meter.Items),
-			math.Float64bits(n.meter.Seconds), math.Float64bits(n.meter.Joules),
-			uint64(n.meter.Retransmits), uint64(n.meter.RetransmitBytes),
-			math.Float64bits(n.meter.RetransmitSecs), math.Float64bits(n.meter.RetransmitJoules),
-		); err != nil {
+		}); err != nil {
 			return err
-		}
-		for _, link := range []*netsim.LossyLink{n.uplink, n.downlink} {
-			if link == nil {
-				continue
-			}
-			st := link.Snapshot()
-			if err := ckpt.WriteU64s(bw,
-				uint64(st.Seq), uint64(st.Stats.Transfers), uint64(st.Stats.Corrupted),
-				uint64(st.Stats.Dropped), uint64(st.Stats.OutageDrops), st.RNGState,
-			); err != nil {
-				return err
-			}
-		}
-		for _, net := range []*nn.Network{n.infer, n.jig} {
-			if err := ckpt.WriteBlob(bw, net.SaveWeights); err != nil {
-				return err
-			}
-			if err := ckpt.WriteBlob(bw, net.SaveLayerState); err != nil {
-				return err
-			}
 		}
 	}
 	return bw.Flush()
@@ -144,36 +123,43 @@ func (f *Fleet) Checkpoint(w io.Writer) error {
 // Checkpoint. The returned fleet continues bit-identically to one that
 // was never interrupted.
 func Resume(cfg Config, r io.Reader) (*Fleet, error) {
+	f := New(cfg)
+	if err := f.Restore(r); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// Restore loads a checkpoint stream written by Checkpoint into this
+// fleet. The fleet must be idle between rounds — typically freshly
+// built by New or Listen (the remote shape resumes by restoring into a
+// fleet whose node processes are already connected). On error the fleet
+// is partially restored and must be Closed, not used.
+func (f *Fleet) Restore(r io.Reader) error {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(ckptMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("fleet: reading checkpoint magic: %w", err)
+		return fmt.Errorf("fleet: reading checkpoint magic: %w", err)
 	}
 	if string(magic) != ckptMagic {
-		return nil, fmt.Errorf("fleet: bad checkpoint magic %q", magic)
+		return fmt.Errorf("fleet: bad checkpoint magic %q", magic)
 	}
-	f := New(cfg)
-	ok := false
-	defer func() {
-		if !ok {
-			f.Close()
-		}
-	}()
 
 	want := f.fingerprint()
 	got := make([]uint64, len(want))
 	if err := ckpt.ReadU64s(br, got); err != nil {
-		return nil, err
+		return err
 	}
 	for i := range want {
 		if got[i] != want[i] {
-			return nil, fmt.Errorf("%w: fingerprint field %d is %d, config says %d",
+			return fmt.Errorf("%w: fingerprint field %d is %d, config says %d",
 				ErrConfigMismatch, i, got[i], want[i])
 		}
 	}
 	prog := make([]uint64, 4)
 	if err := ckpt.ReadU64s(br, prog); err != nil {
-		return nil, err
+		return err
 	}
 	f.round = int(int64(prog[0]))
 	f.cloudVersion = uint32(prog[1])
@@ -182,7 +168,7 @@ func Resume(cfg Config, r io.Reader) (*Fleet, error) {
 
 	srv := make([]uint64, 5)
 	if err := ckpt.ReadU64s(br, srv); err != nil {
-		return nil, err
+		return err
 	}
 	f.jigTr.SetRNGState(srv[0])
 	f.rng.SetState(srv[1])
@@ -192,96 +178,58 @@ func Resume(cfg Config, r io.Reader) (*Fleet, error) {
 
 	for _, net := range []*nn.Network{f.cloudInfer, f.cloudJig} {
 		if err := ckpt.ReadBlob(br, net.LoadWeights); err != nil {
-			return nil, fmt.Errorf("fleet: restoring server weights: %w", err)
+			return fmt.Errorf("fleet: restoring server weights: %w", err)
 		}
 		if err := ckpt.ReadBlob(br, net.LoadLayerState); err != nil {
-			return nil, fmt.Errorf("fleet: restoring server layer state: %w", err)
+			return fmt.Errorf("fleet: restoring server layer state: %w", err)
 		}
 	}
 	if err := ckpt.ReadBlob(br, func(r io.Reader) error {
 		return f.jigTr.Opt.LoadState(r, f.cloudJig.Params())
 	}); err != nil {
-		return nil, fmt.Errorf("fleet: restoring optimizer: %w", err)
+		return fmt.Errorf("fleet: restoring optimizer: %w", err)
 	}
 
 	var count uint32
 	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return nil, err
+		return err
 	}
 	buf := make([]byte, 4*models.ImgChannels*models.ImgSize*models.ImgSize)
 	f.cloudData = make([]dataset.Sample, 0, count)
 	for i := uint32(0); i < count; i++ {
 		smp, err := dataset.ReadSample(br, buf)
 		if err != nil {
-			return nil, fmt.Errorf("fleet: restoring replay sample %d: %w", i, err)
+			return fmt.Errorf("fleet: restoring replay sample %d: %w", i, err)
 		}
 		f.cloudData = append(f.cloudData, smp)
 	}
 
-	for _, n := range f.nodes {
-		hdr := make([]uint64, 6)
-		if err := ckpt.ReadU64s(br, hdr); err != nil {
-			return nil, fmt.Errorf("fleet: restoring node %d: %w", n.id, err)
+	// Each node's blob goes back through its peer: the owning goroutine
+	// (or remote process) applies it via loadState, which also checks
+	// link topology and finiteness of the node nets.
+	for _, p := range f.peers {
+		var data []byte
+		if err := ckpt.ReadBlob(br, func(r io.Reader) error {
+			var err error
+			data, err = io.ReadAll(r)
+			return err
+		}); err != nil {
+			return fmt.Errorf("fleet: reading node %d state: %w", p.id(), err)
 		}
-		n.version = uint32(hdr[0])
-		n.gen.SetRNGState(hdr[1])
-		n.diag.SetRNGState(hdr[2])
-		n.diag.SetThreshold(math.Float64frombits(hdr[3]))
-		if (hdr[4] != 0) != (n.uplink != nil) || (hdr[5] != 0) != (n.downlink != nil) {
-			return nil, fmt.Errorf("%w: node %d link topology differs", ErrConfigMismatch, n.id)
-		}
-		meter := make([]uint64, 8)
-		if err := ckpt.ReadU64s(br, meter); err != nil {
-			return nil, err
-		}
-		n.meter.Bytes = int64(meter[0])
-		n.meter.Items = int64(meter[1])
-		n.meter.Seconds = math.Float64frombits(meter[2])
-		n.meter.Joules = math.Float64frombits(meter[3])
-		n.meter.Retransmits = int64(meter[4])
-		n.meter.RetransmitBytes = int64(meter[5])
-		n.meter.RetransmitSecs = math.Float64frombits(meter[6])
-		n.meter.RetransmitJoules = math.Float64frombits(meter[7])
-		for _, link := range []*netsim.LossyLink{n.uplink, n.downlink} {
-			if link == nil {
-				continue
-			}
-			ls := make([]uint64, 6)
-			if err := ckpt.ReadU64s(br, ls); err != nil {
-				return nil, err
-			}
-			link.Restore(netsim.LinkState{
-				Seq: int64(ls[0]),
-				Stats: netsim.LinkStats{
-					Transfers: int64(ls[1]), Corrupted: int64(ls[2]),
-					Dropped: int64(ls[3]), OutageDrops: int64(ls[4]),
-				},
-				RNGState: ls[5],
-			})
-		}
-		for _, net := range []*nn.Network{n.infer, n.jig} {
-			if err := ckpt.ReadBlob(br, net.LoadWeights); err != nil {
-				return nil, fmt.Errorf("fleet: restoring node %d weights: %w", n.id, err)
-			}
-			if err := ckpt.ReadBlob(br, net.LoadLayerState); err != nil {
-				return nil, fmt.Errorf("fleet: restoring node %d layer state: %w", n.id, err)
-			}
+		if rep := peerState(p, workerCmd{kind: cmdStateLoad, round: f.round, stateIn: data}); rep.err != nil {
+			return rep.err
 		}
 	}
 
 	// A checkpoint that decodes cleanly can still carry a poisoned
-	// model; refuse to bring it back to life.
-	nets := []*nn.Network{f.cloudInfer, f.cloudJig}
-	for _, n := range f.nodes {
-		nets = append(nets, n.infer, n.jig)
-	}
-	for _, net := range nets {
+	// model; refuse to bring it back to life. (Node nets were already
+	// checked inside each node's loadState.)
+	for _, net := range []*nn.Network{f.cloudInfer, f.cloudJig} {
 		if err := net.CheckFinite(); err != nil {
-			return nil, fmt.Errorf("fleet: refusing to resume: %w", err)
+			return fmt.Errorf("fleet: refusing to resume: %w", err)
 		}
 	}
-	ok = true
-	return f, nil
+	return nil
 }
 
 // Checkpointer persists a Fleet plus its round-report history and
@@ -360,12 +308,27 @@ func (c *Checkpointer) Save() error {
 // ResumeCheckpointer rebuilds a Checkpointer from the store's latest
 // good snapshot. It returns ckpt.ErrNoSnapshot when the store is empty.
 func ResumeCheckpointer(store *ckpt.Store, cfg Config, every int) (*Checkpointer, error) {
+	f := New(cfg)
+	c, err := ResumeCheckpointerWith(store, f, every)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// ResumeCheckpointerWith restores the store's latest good snapshot into
+// an already-constructed fleet — the path a standalone cloud takes
+// after Listen, when its node processes are connected and their state
+// must be pushed back over the wire. On error the fleet is left
+// partially restored; the caller still owns it and must Close it.
+func ResumeCheckpointerWith(store *ckpt.Store, f *Fleet, every int) (*Checkpointer, error) {
 	payload, _, err := store.LoadLatest()
 	if err != nil {
 		return nil, err
 	}
 	r := bytes.NewReader(payload)
-	c := NewCheckpointer(store, nil, every)
+	c := NewCheckpointer(store, f, every)
 	if err := ckpt.ReadHistory(r, historyMagic, &c.history); err != nil {
 		return nil, fmt.Errorf("fleet: %w", err)
 	}
@@ -374,15 +337,12 @@ func ResumeCheckpointer(store *ckpt.Store, cfg Config, every int) (*Checkpointer
 		return nil, fmt.Errorf("fleet: %w", err)
 	}
 	c.pending = &snap
-	fl, err := Resume(cfg, r)
-	if err != nil {
+	if err := f.Restore(r); err != nil {
 		return nil, err
 	}
-	if fl.Round() != len(c.history) {
-		fl.Close()
+	if f.Round() != len(c.history) {
 		return nil, fmt.Errorf("fleet: snapshot has %d reports but fleet is at round %d",
-			len(c.history), fl.Round())
+			len(c.history), f.Round())
 	}
-	c.fleet = fl
 	return c, nil
 }

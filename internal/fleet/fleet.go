@@ -184,19 +184,22 @@ type Fleet struct {
 	cloudVersion uint32
 	round        int
 
-	nodes   []*fleetNode
+	peers   []peer
 	results chan roundMsg
 	wall    float64
 	closed  bool
+	// remote is set for fleets built by Listen: peers speak the wire
+	// protocol, so deploy bundles are frame-encoded once per round.
+	remote bool
 
 	// stall, when set, delays a node's capture — the straggler test
 	// hook exercising RoundTimeout.
 	stall func(node, round int)
 }
 
-// New constructs a fleet and starts its (idle) node workers; call
-// Bootstrap before RunRound, and Close when done with the fleet.
-func New(cfg Config) *Fleet {
+// newServer builds the Cloud half of a fleet — everything except the
+// node peers, which New (in-process) and Listen (wire) attach.
+func newServer(cfg Config) *Fleet {
 	if cfg.Nodes < 1 || cfg.Classes < 2 || cfg.PermClasses < 2 {
 		panic("fleet: bad config")
 	}
@@ -215,27 +218,41 @@ func New(cfg Config) *Fleet {
 		depth = cfg.Nodes
 	}
 	f.results = make(chan roundMsg, depth)
-	outage := make(map[int]bool, len(cfg.OutageNodes))
-	for _, id := range cfg.OutageNodes {
+	return f
+}
+
+// outageSet expands Config.OutageNodes into a lookup.
+func (f *Fleet) outageSet() map[int]bool {
+	outage := make(map[int]bool, len(f.Cfg.OutageNodes))
+	for _, id := range f.Cfg.OutageNodes {
 		outage[id] = true
 	}
-	f.nodes = make([]*fleetNode, cfg.Nodes)
-	for i := range f.nodes {
-		f.nodes[i] = newFleetNode(f, i, outage[i])
-		go f.worker(f.nodes[i])
+	return outage
+}
+
+// New constructs an in-process fleet and starts its (idle) node workers;
+// call Bootstrap before RunRound, and Close when done with the fleet.
+func New(cfg Config) *Fleet {
+	f := newServer(cfg)
+	outage := f.outageSet()
+	f.peers = make([]peer, cfg.Nodes)
+	for i := range f.peers {
+		f.peers[i] = newLocalPeer(f, newFleetNode(cfg, i, outage[i], f.permSet))
 	}
 	return f
 }
 
-// Close stops the node workers. The fleet must be quiesced (no round in
-// flight); further rounds panic.
+// Close stops the node peers (workers or connections). The fleet must
+// be quiesced (no round in flight); further rounds panic.
 func (f *Fleet) Close() {
 	if f.closed {
 		return
 	}
 	f.closed = true
-	for _, n := range f.nodes {
-		close(n.cmds)
+	for _, p := range f.peers {
+		if p != nil { // Listen may abort with slots never filled
+			p.shutdown()
+		}
 	}
 }
 
@@ -343,15 +360,8 @@ func (f *Fleet) broadcast(cmd workerCmd) int {
 		panic("fleet: round after Close")
 	}
 	sent := 0
-	for _, n := range f.nodes {
-		if f.Cfg.RoundTimeout > 0 {
-			select {
-			case n.cmds <- cmd:
-				sent++
-			default:
-			}
-		} else {
-			n.cmds <- cmd
+	for _, p := range f.peers {
+		if p.enqueue(cmd, f.Cfg.RoundTimeout <= 0) {
 			sent++
 		}
 	}
@@ -393,7 +403,7 @@ func (f *Fleet) collect(kind cmdKind, round, want int, start time.Time) (map[int
 // is deterministic regardless of goroutine scheduling.
 func (f *Fleet) collectUploads(round, want int, start time.Time) ([]*uploadData, map[int]float64) {
 	msgs, lats := f.collect(cmdCapture, round, want, start)
-	ups := make([]*uploadData, len(f.nodes))
+	ups := make([]*uploadData, len(f.peers))
 	for id, m := range msgs {
 		up := m.up
 		ups[id] = &up
@@ -438,18 +448,26 @@ func (f *Fleet) deployRound(round int, ups []*uploadData, admitted []int, traine
 	if err != nil {
 		panic(fmt.Sprintf("fleet: packing deployment: %v", err))
 	}
-	want := f.broadcast(workerCmd{kind: cmdDeploy, round: round, bundle: bundle})
+	cmd := workerCmd{kind: cmdDeploy, round: round, bundle: bundle}
+	if f.remote {
+		// Remote peers ship the encoded frame; encode exactly once so a
+		// fleet-wide deploy costs one serialization, not N.
+		if cmd.encoded, err = bundle.EncodeBytes(); err != nil {
+			panic(fmt.Sprintf("fleet: encoding deployment: %v", err))
+		}
+	}
+	want := f.broadcast(cmd)
 	deps, _ := f.collect(cmdDeploy, round, want, time.Now())
 
 	rep := RoundReport{
 		Round:        round,
 		Kind:         f.Cfg.Kind,
 		CloudVersion: f.cloudVersion,
-		Nodes:        make([]NodeReport, len(f.nodes)),
+		Nodes:        make([]NodeReport, len(f.peers)),
 	}
 	uploaders := 0
 	accSum, accN := 0.0, 0
-	for id := range f.nodes {
+	for id := range f.peers {
 		nr := NodeReport{Node: id, TimedOut: true}
 		if up := ups[id]; up != nil {
 			nr.TimedOut = false

@@ -14,9 +14,12 @@ import (
 // One simulated in-situ node: its own dataset shard (a per-node seeded
 // generator), its own copies of the deployed networks and diagnoser, an
 // uplink meter, and seeded lossy links in both directions. A node's
-// state is touched only by its worker goroutine while a command is in
-// flight and only by the server between phases — the round-synchronous
-// protocol is the synchronization.
+// state is touched only by one goroutine while a command is in flight
+// and only by the server between phases — the round-synchronous protocol
+// is the synchronization. The same struct backs both deployment shapes:
+// in-process (a local worker goroutine) and remote (an insitu-node
+// process driven by RunAgent over the wire protocol); everything a node
+// derives comes from (Config, id, outage), so the two are bit-identical.
 
 // Per-node seed derivation offsets. The server uses Seed+1…Seed+6
 // (mirroring core); nodes derive from disjoint ranges so no stream is
@@ -33,6 +36,11 @@ type cmdKind int
 const (
 	cmdCapture cmdKind = iota
 	cmdDeploy
+	// cmdStateSave/cmdStateLoad route checkpoint state through the peer,
+	// so node state is only ever touched by its owning goroutine (local
+	// worker or remote process) regardless of transport.
+	cmdStateSave
+	cmdStateLoad
 )
 
 // workerCmd is one server→node instruction.
@@ -42,6 +50,19 @@ type workerCmd struct {
 	n         int // capture size
 	bootstrap bool
 	bundle    *deploy.Bundle // read-only, shared across workers
+	// encoded is the bundle's frame bytes, filled once per round when the
+	// fleet has remote peers (they ship bytes, not pointers).
+	encoded []byte
+	// stateIn carries the blob for cmdStateLoad; reply answers the two
+	// state commands.
+	stateIn []byte
+	reply   chan stateReply
+}
+
+// stateReply answers cmdStateSave (data) and cmdStateLoad (err).
+type stateReply struct {
+	data []byte
+	err  error
 }
 
 // uploadData is a node's capture-phase answer. samples/calib are nil
@@ -77,8 +98,8 @@ type roundMsg struct {
 }
 
 type fleetNode struct {
-	id   int
-	cmds chan workerCmd
+	id  int
+	cfg Config // the node-relevant subset is what matters here
 
 	gen      *dataset.Generator
 	infer    *nn.Network
@@ -93,20 +114,18 @@ type fleetNode struct {
 // newFleetNode builds node id with derived seeds. The node's networks
 // start from the same init seeds as the server's (they are the same
 // models pre-deployment), exactly like core.System's node copies.
-func newFleetNode(f *Fleet, id int, outage bool) *fleetNode {
-	cfg := f.Cfg
+// permSet may be shared (in-process) or freshly derived (remote agent);
+// NewPermSet is deterministic in (PermClasses, Seed+1) either way.
+func newFleetNode(cfg Config, id int, outage bool, permSet *jigsaw.PermSet) *fleetNode {
 	n := &fleetNode{
-		id: id,
-		// Capacity 4 covers the worst in-flight case (a stalled worker
-		// under RoundTimeout accumulating capture+deploy commands from
-		// two rounds) so broadcast never blocks on a straggler.
-		cmds:  make(chan workerCmd, 4),
+		id:    id,
+		cfg:   cfg,
 		gen:   dataset.NewGenerator(cfg.Classes, cfg.Seed+seedOffGen+uint64(id)*131),
 		jig:   jigsaw.NewNet(cfg.PermClasses, cfg.Seed+2),
 		infer: models.TinyAlex(cfg.Classes, cfg.Seed+3),
 		meter: netsim.NewMeter(cfg.Link),
 	}
-	n.diag = diagnosis.NewJigsawDiagnoser(n.jig, f.permSet, cfg.Probes, cfg.Seed+seedOffDiag+uint64(id))
+	n.diag = diagnosis.NewJigsawDiagnoser(n.jig, permSet, cfg.Probes, cfg.Seed+seedOffDiag+uint64(id))
 	n.uplink = nodeLink(cfg.Link, cfg.UplinkFaults, cfg.Seed+seedOffUplink+uint64(id), outage)
 	n.downlink = nodeLink(cfg.Link, cfg.DownlinkFaults, cfg.Seed+seedOffDownlink+uint64(id), outage)
 	return n
@@ -126,31 +145,33 @@ func nodeLink(up netsim.Uplink, base netsim.FaultConfig, seed uint64, outage boo
 	return netsim.NewLossyLink(up, cfg)
 }
 
-// worker is a node's goroutine: execute each command, always answer.
-// The results queue is bounded (Config.QueueDepth), so a worker blocks
-// here — backpressure — until the server drains; the server always
-// collects every expected response per phase, so this cannot deadlock.
-func (f *Fleet) worker(n *fleetNode) {
-	for cmd := range n.cmds {
-		var msg roundMsg
-		switch cmd.kind {
-		case cmdCapture:
-			msg = n.capture(f, cmd)
-		case cmdDeploy:
-			msg = n.deploy(f, cmd)
-		}
-		f.results <- msg
+// handle executes one command against the node's state and returns the
+// response message (state commands answer on cmd.reply instead and
+// return false). Both the local worker and the remote agent funnel every
+// command through here, so the two transports cannot drift.
+func (n *fleetNode) handle(cmd workerCmd, stall func(node, round int)) (roundMsg, bool) {
+	switch cmd.kind {
+	case cmdCapture:
+		return n.capture(cmd, stall), true
+	case cmdDeploy:
+		return n.deploy(cmd), true
+	case cmdStateSave:
+		data, err := n.stateBytes()
+		cmd.reply <- stateReply{data: data, err: err}
+	case cmdStateLoad:
+		cmd.reply <- stateReply{err: n.loadStateBytes(cmd.stateIn)}
 	}
+	return roundMsg{}, false
 }
 
 // capture runs the node half of a round: render the shard's next batch,
 // measure diagnosis quality, split, and push the upload batch through
 // the uplink. Bootstrap rounds upload everything raw.
-func (n *fleetNode) capture(f *Fleet, cmd workerCmd) roundMsg {
-	if f.stall != nil {
-		f.stall(n.id, cmd.round)
+func (n *fleetNode) capture(cmd workerCmd, stall func(node, round int)) roundMsg {
+	if stall != nil {
+		stall(n.id, cmd.round)
 	}
-	cfg := f.Cfg
+	cfg := n.cfg
 	capture := n.gen.MixedSet(cmd.n, cfg.InSituFrac, cfg.Severity)
 	up := uploadData{captured: cmd.n}
 	var uploadSet []dataset.Sample
@@ -201,11 +222,11 @@ func (n *fleetNode) capture(f *Fleet, cmd workerCmd) roundMsg {
 // deploy applies the round's bundle through this node's downlink (with
 // core's retry/backoff/rollback semantics via deploy.Deliver), then
 // evaluates the deployed model on the node's own capture mix.
-func (n *fleetNode) deploy(f *Fleet, cmd workerCmd) roundMsg {
+func (n *fleetNode) deploy(cmd workerCmd) roundMsg {
 	res := deploy.Downlink{
 		Link:        n.downlink,
 		Meter:       n.meter,
-		Retries:     f.Cfg.DeployRetries,
+		Retries:     n.cfg.DeployRetries,
 		BackoffBase: deployBackoffBase,
 	}.Deliver(cmd.bundle, deploy.Target{
 		Current:   n.version,
@@ -214,7 +235,7 @@ func (n *fleetNode) deploy(f *Fleet, cmd workerCmd) roundMsg {
 		Diag:      n.diag,
 	})
 	n.version = res.Version
-	eval := n.gen.MixedSet(120, f.Cfg.InSituFrac, f.Cfg.Severity)
+	eval := n.gen.MixedSet(120, n.cfg.InSituFrac, n.cfg.Severity)
 	acc := train.Evaluate(n.infer, eval)
 	return roundMsg{
 		node: n.id, round: cmd.round, kind: cmdDeploy,

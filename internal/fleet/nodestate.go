@@ -1,0 +1,143 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+
+	"insitu/internal/ckpt"
+	"insitu/internal/netsim"
+	"insitu/internal/nn"
+)
+
+// A node's checkpoint state as one self-contained blob: version, RNG
+// positions, threshold, meter, link dice and the four network payloads.
+// The fleet checkpoint frames each node's blob in id order, so a blob
+// produced by a local worker and one shipped back by a remote
+// insitu-node process (MsgStateSave → MsgStateBlob) are interchangeable
+// — the byte-identity the cross-process crash-resume test relies on.
+
+// saveState writes the node's complete mutable state to w.
+func (n *fleetNode) saveState(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := ckpt.WriteU64s(bw,
+		uint64(n.version), n.gen.RNGState(), n.diag.RNGState(),
+		math.Float64bits(n.diag.Threshold()),
+		ckpt.BoolU64(n.uplink != nil), ckpt.BoolU64(n.downlink != nil),
+	); err != nil {
+		return err
+	}
+	if err := ckpt.WriteU64s(bw,
+		uint64(n.meter.Bytes), uint64(n.meter.Items),
+		math.Float64bits(n.meter.Seconds), math.Float64bits(n.meter.Joules),
+		uint64(n.meter.Retransmits), uint64(n.meter.RetransmitBytes),
+		math.Float64bits(n.meter.RetransmitSecs), math.Float64bits(n.meter.RetransmitJoules),
+		uint64(n.meter.Downloads), uint64(n.meter.DownlinkBytes),
+		math.Float64bits(n.meter.DownlinkSecs), math.Float64bits(n.meter.DownlinkJoules),
+	); err != nil {
+		return err
+	}
+	for _, link := range []*netsim.LossyLink{n.uplink, n.downlink} {
+		if link == nil {
+			continue
+		}
+		st := link.Snapshot()
+		if err := ckpt.WriteU64s(bw,
+			uint64(st.Seq), uint64(st.Stats.Transfers), uint64(st.Stats.Corrupted),
+			uint64(st.Stats.Dropped), uint64(st.Stats.OutageDrops), st.RNGState,
+		); err != nil {
+			return err
+		}
+	}
+	for _, net := range []*nn.Network{n.infer, n.jig} {
+		if err := ckpt.WriteBlob(bw, net.SaveWeights); err != nil {
+			return err
+		}
+		if err := ckpt.WriteBlob(bw, net.SaveLayerState); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// loadState restores state written by saveState. On any error the node
+// must be considered poisoned (partially restored) and not be resumed.
+func (n *fleetNode) loadState(r io.Reader) error {
+	br := bufio.NewReader(r)
+	hdr := make([]uint64, 6)
+	if err := ckpt.ReadU64s(br, hdr); err != nil {
+		return fmt.Errorf("fleet: restoring node %d: %w", n.id, err)
+	}
+	n.version = uint32(hdr[0])
+	n.gen.SetRNGState(hdr[1])
+	n.diag.SetRNGState(hdr[2])
+	n.diag.SetThreshold(math.Float64frombits(hdr[3]))
+	if (hdr[4] != 0) != (n.uplink != nil) || (hdr[5] != 0) != (n.downlink != nil) {
+		return fmt.Errorf("%w: node %d link topology differs", ErrConfigMismatch, n.id)
+	}
+	meter := make([]uint64, 12)
+	if err := ckpt.ReadU64s(br, meter); err != nil {
+		return err
+	}
+	n.meter.Bytes = int64(meter[0])
+	n.meter.Items = int64(meter[1])
+	n.meter.Seconds = math.Float64frombits(meter[2])
+	n.meter.Joules = math.Float64frombits(meter[3])
+	n.meter.Retransmits = int64(meter[4])
+	n.meter.RetransmitBytes = int64(meter[5])
+	n.meter.RetransmitSecs = math.Float64frombits(meter[6])
+	n.meter.RetransmitJoules = math.Float64frombits(meter[7])
+	n.meter.Downloads = int64(meter[8])
+	n.meter.DownlinkBytes = int64(meter[9])
+	n.meter.DownlinkSecs = math.Float64frombits(meter[10])
+	n.meter.DownlinkJoules = math.Float64frombits(meter[11])
+	for _, link := range []*netsim.LossyLink{n.uplink, n.downlink} {
+		if link == nil {
+			continue
+		}
+		ls := make([]uint64, 6)
+		if err := ckpt.ReadU64s(br, ls); err != nil {
+			return err
+		}
+		link.Restore(netsim.LinkState{
+			Seq: int64(ls[0]),
+			Stats: netsim.LinkStats{
+				Transfers: int64(ls[1]), Corrupted: int64(ls[2]),
+				Dropped: int64(ls[3]), OutageDrops: int64(ls[4]),
+			},
+			RNGState: ls[5],
+		})
+	}
+	for _, net := range []*nn.Network{n.infer, n.jig} {
+		if err := ckpt.ReadBlob(br, net.LoadWeights); err != nil {
+			return fmt.Errorf("fleet: restoring node %d weights: %w", n.id, err)
+		}
+		if err := ckpt.ReadBlob(br, net.LoadLayerState); err != nil {
+			return fmt.Errorf("fleet: restoring node %d layer state: %w", n.id, err)
+		}
+	}
+	// A blob that decodes cleanly can still carry a poisoned model;
+	// refuse to bring it back to life.
+	for _, net := range []*nn.Network{n.infer, n.jig} {
+		if err := net.CheckFinite(); err != nil {
+			return fmt.Errorf("fleet: refusing to restore node %d: %w", n.id, err)
+		}
+	}
+	return nil
+}
+
+// stateBytes is saveState into a fresh buffer.
+func (n *fleetNode) stateBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := n.saveState(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// loadStateBytes is loadState from a byte slice.
+func (n *fleetNode) loadStateBytes(data []byte) error {
+	return n.loadState(bytes.NewReader(data))
+}

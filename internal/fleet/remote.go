@@ -1,0 +1,443 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"insitu/internal/deploy"
+	"insitu/internal/diagnosis"
+	"insitu/internal/netsim"
+	"insitu/internal/wire"
+)
+
+// The cloud half of the wire deployment. Listen accepts one TCP (or any
+// net.Conn) connection per node, handshakes it, and wraps it in a
+// remotePeer — after which the round protocol is exactly the in-process
+// one: the server cannot tell a goroutine from a process.
+//
+// Transport faults are the remotePeer's problem, not the protocol's:
+// every request is retransmitted on a timer until its response arrives
+// (matched by round number or state tag, so a proxy-delayed duplicate
+// is ignored), the agent answers duplicates from a response cache
+// without re-executing, and a CRC-failed frame is simply skipped —
+// the next retransmission carries the same bytes. The *simulated*
+// LossyLink faults stay node-side, exactly as in-process, so identical
+// seeds produce identical RoundReports no matter how hostile the real
+// network was.
+
+// Retransmission pacing for requests awaiting a response. The base is
+// tuned for the localhost/LAN links the wire deployment targets; it
+// doubles per retry up to the cap, and retries never stop while the
+// conn lives — delivery is at-least-once, dedup is the receiver's job.
+const (
+	retransmitBase = 500 * time.Millisecond
+	retransmitMax  = 10 * time.Second
+	handshakeGrace = 10 * time.Second
+)
+
+// Listen builds the fleet's server half, then accepts connections on ln
+// until every one of cfg.Nodes node ids is served by a handshaken
+// insitu-node process. A connection that fails its handshake (bad
+// frame, no mutual protocol version) is dropped and the slot stays
+// open for the next dial. The returned fleet runs the same Bootstrap /
+// RunRound / Checkpoint API as New; Close says Bye to every node.
+func Listen(cfg Config, ln net.Listener) (*Fleet, error) {
+	f := newServer(cfg)
+	f.remote = true
+	outage := f.outageSet()
+	f.peers = make([]peer, cfg.Nodes)
+	taken := make(map[int]bool, cfg.Nodes)
+	for connected := 0; connected < cfg.Nodes; {
+		conn, err := ln.Accept()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: accepting node connection: %w", err)
+		}
+		p, err := f.handshake(conn, taken, outage)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		taken[p.nodeID] = true
+		f.peers[p.nodeID] = p
+		connected++
+	}
+	return f, nil
+}
+
+// handshake reads the node's Hello, negotiates a protocol version,
+// assigns an id (the requested one when free, else the lowest free) and
+// answers with the Welcome carrying the node's full derived config.
+func (f *Fleet) handshake(conn net.Conn, taken, outage map[int]bool) (*remotePeer, error) {
+	conn.SetDeadline(time.Now().Add(handshakeGrace))
+	var h wire.Hello
+	for {
+		_, t, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			if errors.Is(err, wire.ErrCRC) {
+				continue // the node retransmits its Hello
+			}
+			return nil, fmt.Errorf("fleet: handshake read: %w", err)
+		}
+		if t != wire.MsgHello {
+			continue
+		}
+		if h, err = wire.DecodeHello(payload); err != nil {
+			return nil, fmt.Errorf("fleet: handshake: %w", err)
+		}
+		break
+	}
+	proto, ok := wire.Negotiate(h.MinProto, h.MaxProto, wire.ProtoMin, wire.ProtoMax)
+	if !ok {
+		if frame, err := wire.EncodeFrame(wire.ProtoMax, wire.MsgError,
+			wire.EncodeError(fmt.Sprintf("no mutual protocol version (cloud speaks %d..%d)",
+				wire.ProtoMin, wire.ProtoMax))); err == nil {
+			conn.Write(frame)
+		}
+		return nil, fmt.Errorf("fleet: no mutual protocol version (node speaks %d..%d)",
+			h.MinProto, h.MaxProto)
+	}
+	id := -1
+	if h.Node >= 0 && int(h.Node) < f.Cfg.Nodes && !taken[int(h.Node)] {
+		id = int(h.Node)
+	} else {
+		for i := 0; i < f.Cfg.Nodes; i++ {
+			if !taken[i] {
+				id = i
+				break
+			}
+		}
+	}
+	if id < 0 {
+		return nil, errors.New("fleet: all node ids are taken")
+	}
+	w := wire.Welcome{Proto: proto, Node: uint32(id), Cfg: f.nodeConfigToWire(outage[id])}
+	frame, err := wire.EncodeFrame(proto, wire.MsgWelcome, w.Encode())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(frame); err != nil {
+		return nil, fmt.Errorf("fleet: sending welcome: %w", err)
+	}
+	conn.SetDeadline(time.Time{})
+	return newRemotePeer(f, id, conn, proto, frame), nil
+}
+
+// nodeConfigToWire derives the config a node process needs — the same
+// fields newFleetNode consumes in-process, so both shapes derive
+// bit-identical node state.
+func (f *Fleet) nodeConfigToWire(outage bool) wire.NodeConfig {
+	cfg := f.Cfg
+	return wire.NodeConfig{
+		Kind:              uint32(cfg.Kind),
+		Classes:           uint32(cfg.Classes),
+		PermClasses:       uint32(cfg.PermClasses),
+		SharedConvs:       uint32(cfg.SharedConvs),
+		Probes:            uint32(cfg.Probes),
+		Seed:              cfg.Seed,
+		InSituFrac:        cfg.InSituFrac,
+		Severity:          cfg.Severity,
+		LinkName:          cfg.Link.Name,
+		LinkBandwidthBps:  cfg.Link.BandwidthBps,
+		LinkEnergyPerByte: cfg.Link.EnergyPerByte,
+		DeployRetries:     uint32(cfg.DeployRetries),
+		Uplink:            faultSpecToWire(cfg.UplinkFaults),
+		Downlink:          faultSpecToWire(cfg.DownlinkFaults),
+		Outage:            outage,
+	}
+}
+
+func faultSpecToWire(c netsim.FaultConfig) wire.FaultSpec {
+	s := wire.FaultSpec{Seed: c.Seed, CorruptProb: c.CorruptProb, DropProb: c.DropProb}
+	for _, o := range c.Outages {
+		s.Outages = append(s.Outages, [2]int64{o.Start, o.End})
+	}
+	return s
+}
+
+func faultSpecFromWire(s wire.FaultSpec) netsim.FaultConfig {
+	c := netsim.FaultConfig{Seed: s.Seed, CorruptProb: s.CorruptProb, DropProb: s.DropProb}
+	for _, o := range s.Outages {
+		c.Outages = append(c.Outages, netsim.Outage{Start: o[0], End: o[1]})
+	}
+	return c
+}
+
+// inFrame is one CRC-clean frame from the node.
+type inFrame struct {
+	t       wire.MsgType
+	payload []byte
+}
+
+// remotePeer drives one node process over a conn. The loop goroutine
+// turns workerCmds into request frames and blocks until the matching
+// response (retransmitting on a timer); the reader goroutine keeps the
+// conn drained so late duplicates never clog the stream.
+type remotePeer struct {
+	nodeID int
+	f      *Fleet
+	conn   net.Conn
+	proto  uint8
+	cmds   chan workerCmd
+	// inbox hands frames from the reader to the loop; overflow drops the
+	// oldest (a dropped response is recovered by retransmission).
+	inbox    chan inFrame
+	dead     chan struct{}
+	deadOnce sync.Once
+	writeMu  sync.Mutex
+	// welcome is the cached handshake answer, resent verbatim when the
+	// node retransmits its Hello (our Welcome was lost).
+	welcome []byte
+	// stateTag numbers state operations so a delayed duplicate of an old
+	// save/load can never be mistaken for a newer one.
+	stateTag uint32
+}
+
+func newRemotePeer(f *Fleet, id int, conn net.Conn, proto uint8, welcome []byte) *remotePeer {
+	p := &remotePeer{
+		nodeID:  id,
+		f:       f,
+		conn:    conn,
+		proto:   proto,
+		cmds:    make(chan workerCmd, 4),
+		inbox:   make(chan inFrame, 16),
+		dead:    make(chan struct{}),
+		welcome: welcome,
+	}
+	go p.read()
+	go p.loop()
+	return p
+}
+
+func (p *remotePeer) id() int { return p.nodeID }
+
+func (p *remotePeer) enqueue(cmd workerCmd, block bool) bool {
+	if !block {
+		select {
+		case p.cmds <- cmd:
+			return true
+		default:
+			return false
+		}
+	}
+	p.cmds <- cmd
+	return true
+}
+
+func (p *remotePeer) shutdown() { close(p.cmds) }
+
+func (p *remotePeer) markDead() { p.deadOnce.Do(func() { close(p.dead) }) }
+
+func (p *remotePeer) write(frame []byte) {
+	p.writeMu.Lock()
+	defer p.writeMu.Unlock()
+	if _, err := p.conn.Write(frame); err != nil {
+		p.markDead()
+	}
+}
+
+// read drains the conn forever: CRC failures are skipped (the request's
+// retransmit timer re-triggers the node), duplicate Hellos get the
+// cached Welcome, everything else lands in the inbox.
+func (p *remotePeer) read() {
+	for {
+		_, t, payload, err := wire.ReadFrame(p.conn)
+		if err != nil {
+			if errors.Is(err, wire.ErrCRC) {
+				continue
+			}
+			p.markDead()
+			return
+		}
+		if t == wire.MsgHello {
+			p.write(p.welcome)
+			continue
+		}
+		select {
+		case p.inbox <- inFrame{t: t, payload: payload}:
+		default:
+			select {
+			case <-p.inbox:
+			default:
+			}
+			select {
+			case p.inbox <- inFrame{t: t, payload: payload}:
+			default:
+			}
+		}
+	}
+}
+
+// loop is the remote analogue of localPeer.run: one command at a time,
+// in order. On shutdown it says Bye (best-effort) and closes the conn.
+func (p *remotePeer) loop() {
+	for cmd := range p.cmds {
+		p.exchange(cmd)
+	}
+	if frame, err := wire.EncodeFrame(p.proto, wire.MsgBye, nil); err == nil {
+		p.write(frame)
+	}
+	p.markDead()
+	p.conn.Close()
+}
+
+// exchange performs one request/response round trip and delivers the
+// result where the protocol expects it: the fleet's results queue for
+// round commands, cmd.reply for state commands. A dead conn yields no
+// round message — Config.RoundTimeout decides whether the fleet marks
+// the node TimedOut or waits for an operator to restart from a
+// checkpoint.
+func (p *remotePeer) exchange(cmd workerCmd) {
+	var (
+		req  []byte
+		err  error
+		want wire.MsgType
+		disc uint32 // response discriminator: round or state tag
+	)
+	switch cmd.kind {
+	case cmdCapture:
+		c := wire.Capture{Round: uint32(cmd.round), N: uint32(cmd.n), Bootstrap: cmd.bootstrap}
+		req, err = wire.EncodeFrame(p.proto, wire.MsgCapture, c.Encode())
+		want, disc = wire.MsgUpload, uint32(cmd.round)
+	case cmdDeploy:
+		d := wire.Deploy{Round: uint32(cmd.round), Bundle: cmd.encoded}
+		req, err = wire.EncodeFrame(p.proto, wire.MsgDeploy, d.Encode())
+		want, disc = wire.MsgDeployResult, uint32(cmd.round)
+	case cmdStateSave:
+		p.stateTag++
+		req, err = wire.EncodeFrame(p.proto, wire.MsgStateSave, wire.EncodeStateSave(p.stateTag))
+		want, disc = wire.MsgStateBlob, p.stateTag
+	case cmdStateLoad:
+		p.stateTag++
+		req, err = wire.EncodeFrame(p.proto, wire.MsgStateLoad, wire.EncodeStateBlob(p.stateTag, cmd.stateIn))
+		want, disc = wire.MsgStateLoaded, p.stateTag
+	default:
+		return
+	}
+	if err != nil {
+		p.failState(cmd, fmt.Errorf("fleet: encoding %v request: %w", want, err))
+		return
+	}
+	payload, ok := p.request(req, want, disc)
+	if !ok {
+		p.failState(cmd, errPeerGone)
+		return
+	}
+	switch cmd.kind {
+	case cmdCapture:
+		u, derr := wire.DecodeUpload(payload)
+		if derr != nil {
+			p.markDead()
+			return
+		}
+		p.f.results <- roundMsg{
+			node: p.nodeID, round: cmd.round, kind: cmdCapture,
+			up: uploadData{
+				captured: int(u.Captured),
+				uploaded: int(u.Uploaded),
+				calibN:   int(u.CalibN),
+				upBytes:  u.UpBytes,
+				uplinkJ:  u.UplinkJ,
+				uplinkS:  u.UplinkS,
+				failed:   u.Failed,
+				samples:  u.Samples,
+				calib:    u.Calib,
+				quality: diagnosis.Quality{
+					UploadFraction: u.QualityUploadFraction,
+					ErrorRecall:    u.QualityErrorRecall,
+					Precision:      u.QualityPrecision,
+				},
+			},
+		}
+	case cmdDeploy:
+		r, derr := wire.DecodeDeployResult(payload)
+		if derr != nil {
+			p.markDead()
+			return
+		}
+		p.f.results <- roundMsg{
+			node: p.nodeID, round: cmd.round, kind: cmdDeploy,
+			dep: deployData{
+				res: deploy.Result{
+					Bytes:       r.Bytes,
+					Attempts:    int(r.Attempts),
+					Retransmits: r.Retransmits,
+					Backoff:     r.Backoff,
+					Version:     r.Version,
+					Failed:      r.Failed,
+				},
+				version:  r.NodeVersion,
+				accuracy: r.Accuracy,
+			},
+		}
+	case cmdStateSave:
+		_, data, derr := wire.DecodeStateBlob(payload)
+		cmd.reply <- stateReply{data: data, err: derr}
+	case cmdStateLoad:
+		_, errText, derr := wire.DecodeStateLoaded(payload)
+		if derr == nil && errText != "" {
+			if containsMismatch(errText) {
+				derr = fmt.Errorf("%w (node %d: %s)", ErrConfigMismatch, p.nodeID, errText)
+			} else {
+				derr = fmt.Errorf("fleet: node %d restore: %s", p.nodeID, errText)
+			}
+		}
+		cmd.reply <- stateReply{err: derr}
+	}
+}
+
+// containsMismatch recovers the ErrConfigMismatch identity from a
+// restore error that crossed the wire as text.
+func containsMismatch(text string) bool {
+	want := ErrConfigMismatch.Error()
+	for i := 0; i+len(want) <= len(text); i++ {
+		if text[i:i+len(want)] == want {
+			return true
+		}
+	}
+	return false
+}
+
+// failState answers a state command that cannot complete; round
+// commands fail silently (collect's timeout accounts for them).
+func (p *remotePeer) failState(cmd workerCmd, err error) {
+	if cmd.reply != nil {
+		cmd.reply <- stateReply{err: err}
+	}
+}
+
+// request writes req and waits for a response of type want whose
+// leading u32 equals disc — every response message (Upload,
+// DeployResult, StateBlob, StateLoaded) starts with its round or tag,
+// so stale duplicates are filtered without decoding. The request is
+// retransmitted on a doubling timer for as long as the conn lives.
+func (p *remotePeer) request(req []byte, want wire.MsgType, disc uint32) ([]byte, bool) {
+	p.write(req)
+	backoff := retransmitBase
+	timer := time.NewTimer(backoff)
+	defer timer.Stop()
+	for {
+		select {
+		case <-p.dead:
+			return nil, false
+		case in := <-p.inbox:
+			if in.t != want || len(in.payload) < 4 {
+				continue
+			}
+			if binary.LittleEndian.Uint32(in.payload[:4]) != disc {
+				continue
+			}
+			return in.payload, true
+		case <-timer.C:
+			p.write(req)
+			if backoff < retransmitMax {
+				backoff *= 2
+			}
+			timer.Reset(backoff)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package fleet
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"insitu/internal/netsim"
+)
+
+// The wire-vs-in-process equivalence suite: the same Config and seeds
+// must produce field-for-field identical RoundReports whether the
+// nodes are goroutines (New) or processes-worth of agents on the far
+// side of a TCP socket (Listen/RunAgent) — even when that socket runs
+// through a proxy that drops and corrupts real frames. The simulated
+// LossyLink faults live node-side in both shapes, so the reports
+// encode the same simulated world; the transport's job is to not leak
+// into it.
+
+// runRemote mirrors the run() helper over real TCP: one Listen'd fleet
+// served by cfg.Nodes RunAgent goroutines, optionally through a lossy
+// proxy. restore, when non-nil, is loaded before any round runs.
+func runRemote(t *testing.T, cfg Config, boot int, rounds []int, pxCfg *netsim.ProxyConfig, restore []byte) []RoundReport {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	dialAddr := ln.Addr().String()
+	if pxCfg != nil {
+		pln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("proxy listen: %v", err)
+		}
+		px := netsim.NewProxy(pln, dialAddr, *pxCfg)
+		defer px.Close()
+		dialAddr = px.Addr().String()
+	}
+
+	var wg sync.WaitGroup
+	agentErrs := make([]error, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", dialAddr)
+			if err != nil {
+				agentErrs[id] = err
+				return
+			}
+			defer conn.Close()
+			agentErrs[id] = RunAgent(conn, id)
+		}(i)
+	}
+
+	f, err := Listen(cfg, ln)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	if restore != nil {
+		if err := f.Restore(bytes.NewReader(restore)); err != nil {
+			f.Close()
+			t.Fatalf("Restore over the wire: %v", err)
+		}
+	}
+	var reps []RoundReport
+	if restore == nil {
+		reps = append(reps, f.Bootstrap(boot))
+	}
+	for _, n := range rounds {
+		reps = append(reps, f.RunRound(n))
+	}
+	f.Close()
+	wg.Wait()
+	for id, err := range agentErrs {
+		if err != nil {
+			t.Fatalf("agent %d: %v", id, err)
+		}
+	}
+	return reps
+}
+
+// wireTestCfg adds the simulated link faults so the equivalence runs
+// exercise the full node-side fault model, not just the happy path.
+func wireTestCfg(nodes int) Config {
+	cfg := testCfg(nodes)
+	cfg.UplinkFaults = netsim.FaultConfig{DropProb: 0.2}
+	cfg.DownlinkFaults = netsim.FaultConfig{CorruptProb: 0.3}
+	return cfg
+}
+
+func TestWireFleetMatchesInProcess(t *testing.T) {
+	t.Parallel()
+	cfg := wireTestCfg(3)
+	local := reportJSON(t, run(cfg, 32, []int{24}))
+	remote := reportJSON(t, runRemote(t, cfg, 32, []int{24}, nil, nil))
+	if !bytes.Equal(local, remote) {
+		t.Fatalf("TCP fleet diverged from in-process fleet:\n%s\n---\n%s", local, remote)
+	}
+}
+
+func TestWireFleetThroughLossyProxyStillIdentical(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("proxy retransmission waits are slow")
+	}
+	cfg := wireTestCfg(3)
+	local := reportJSON(t, run(cfg, 32, []int{24}))
+	px := &netsim.ProxyConfig{Seed: 7, DropProb: 0.12, CorruptProb: 0.12, MaxDelay: 5 * time.Millisecond}
+	remote := reportJSON(t, runRemote(t, cfg, 32, []int{24}, px, nil))
+	if !bytes.Equal(local, remote) {
+		t.Fatalf("lossy-proxy fleet diverged from in-process fleet:\n%s\n---\n%s", local, remote)
+	}
+}
+
+// A checkpoint taken by an in-process fleet restores into a wire fleet
+// (state travels over MsgStateLoad) and the combined run's reports —
+// and the re-saved checkpoint bytes — match an uninterrupted local run
+// exactly. This is the crash-resume story for the standalone cloud: the
+// driver restarts the deployment from the latest snapshot and nothing
+// downstream can tell.
+func TestWireFleetResumesLocalCheckpointByteIdentically(t *testing.T) {
+	t.Parallel()
+	cfg := wireTestCfg(3)
+	full := run(cfg, 32, []int{24, 24})
+
+	// Interrupted local run: bootstrap + one round, checkpoint, "crash".
+	f1 := New(cfg)
+	interrupted := []RoundReport{f1.Bootstrap(32), f1.RunRound(24)}
+	var snap bytes.Buffer
+	if err := f1.Checkpoint(&snap); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	f1.Close()
+
+	// Finish the run over TCP, restored from the local checkpoint.
+	finished := runRemote(t, cfg, 0, []int{24}, nil, snap.Bytes())
+	interrupted = append(interrupted, finished...)
+
+	a := reportJSON(t, full)
+	b := reportJSON(t, interrupted)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("resumed-over-wire reports diverged from uninterrupted run:\n%s\n---\n%s", a, b)
+	}
+}
+
+// Restoring into a wire fleet and immediately checkpointing again must
+// reproduce the checkpoint stream byte-for-byte: node state framed as
+// blobs is transport-independent.
+func TestWireFleetCheckpointRoundTripsAcrossTransports(t *testing.T) {
+	t.Parallel()
+	cfg := wireTestCfg(2)
+	f1 := New(cfg)
+	f1.Bootstrap(32)
+	var local bytes.Buffer
+	if err := f1.Checkpoint(&local); err != nil {
+		t.Fatalf("local Checkpoint: %v", err)
+	}
+	f1.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	var wg sync.WaitGroup
+	agentErrs := make([]error, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				agentErrs[id] = err
+				return
+			}
+			defer conn.Close()
+			agentErrs[id] = RunAgent(conn, id)
+		}(i)
+	}
+	f2, err := Listen(cfg, ln)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	if err := f2.Restore(bytes.NewReader(local.Bytes())); err != nil {
+		f2.Close()
+		t.Fatalf("Restore: %v", err)
+	}
+	var remote bytes.Buffer
+	if err := f2.Checkpoint(&remote); err != nil {
+		f2.Close()
+		t.Fatalf("remote Checkpoint: %v", err)
+	}
+	f2.Close()
+	wg.Wait()
+	for id, err := range agentErrs {
+		if err != nil {
+			t.Fatalf("agent %d: %v", id, err)
+		}
+	}
+	if !bytes.Equal(local.Bytes(), remote.Bytes()) {
+		t.Fatalf("checkpoint streams differ across transports (local %d bytes, remote %d bytes)",
+			local.Len(), remote.Len())
+	}
+}

@@ -57,6 +57,14 @@ type Meter struct {
 	RetransmitBytes  int64
 	RetransmitSecs   float64
 	RetransmitJoules float64
+	// Downloads counts first-attempt downlink deliveries (model pushes);
+	// their cost is kept out of the uplink Bytes/Joules series so
+	// Table II's data-movement ratios stay upload-only. Redelivery cost
+	// still lands in the Retransmit accumulators.
+	Downloads      int64
+	DownlinkBytes  int64
+	DownlinkSecs   float64
+	DownlinkJoules float64
 }
 
 // NewMeter returns a meter over the given link.
@@ -89,8 +97,20 @@ func (m *Meter) Retransmit(n int64) {
 	m.RetransmitJoules += m.Link.TransferEnergy(n)
 }
 
+// Download records the first transmit of n bytes down to the node.
+func (m *Meter) Download(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("netsim: negative download %d", n))
+	}
+	m.Downloads++
+	m.DownlinkBytes += n
+	m.DownlinkSecs += m.Link.TransferTime(n)
+	m.DownlinkJoules += m.Link.TransferEnergy(n)
+}
+
 // Reset clears the meter's accumulators (the link is kept).
 func (m *Meter) Reset() {
 	m.Bytes, m.Items, m.Seconds, m.Joules = 0, 0, 0, 0
 	m.Retransmits, m.RetransmitBytes, m.RetransmitSecs, m.RetransmitJoules = 0, 0, 0, 0
+	m.Downloads, m.DownlinkBytes, m.DownlinkSecs, m.DownlinkJoules = 0, 0, 0, 0
 }
