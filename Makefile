@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-short bench-smoke bench-kernels bench-kernels-json bench-json bench-diff trace-smoke fault-smoke crash-smoke fleet-smoke health-smoke wire-smoke clean
+.PHONY: check vet build test race race-short bench-smoke bench-kernels bench-kernels-json bench-json bench-diff trace-smoke fault-smoke crash-smoke fleet-smoke health-smoke wire-smoke churn-smoke clean
 
 check: vet build race bench-smoke
 
@@ -128,7 +128,15 @@ health-smoke:
 wire-smoke:
 	./scripts/wire_smoke.sh
 
+# Churn proof: node processes SIGKILLed and restarted mid-round (through
+# a lossy proxy) must leave the fleet's stdout byte-identical to an
+# undisturbed run, and a node left dead past its lease must be parked at
+# MinQuorum with the health plane reporting it DISCONNECTED/unhealthy.
+# Artifacts land in churn-smoke-work/ for CI upload.
+churn-smoke:
+	./scripts/churn_smoke.sh
+
 clean:
 	rm -f trace-smoke.jsonl fleet-smoke.jsonl health-smoke.json health-smoke.jsonl bench-diff-fresh.json
-	rm -rf crash-smoke-node crash-smoke-base.txt crash-smoke-resumed.txt crash-smoke-state
+	rm -rf crash-smoke-node crash-smoke-base.txt crash-smoke-resumed.txt crash-smoke-state churn-smoke-work
 	$(GO) clean ./...

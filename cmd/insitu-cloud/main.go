@@ -35,12 +35,15 @@ func main() {
 	var o fleetcli.Options
 	o.AddFlags(flag.CommandLine)
 	flag.Parse()
+	o.Wire = true
 	os.Exit(o.Run("insitu-cloud", func(cfg fleet.Config) (*fleet.Fleet, error) {
+		// The fleet owns the listener for the whole run (Close stops it):
+		// it keeps accepting so killed/restarted nodes can redial and
+		// rejoin their session mid-schedule.
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
 			return nil, err
 		}
-		defer ln.Close() // all slots filled (or failed); no more accepts
 		fmt.Fprintf(os.Stderr, "listening on %s, waiting for %d node(s)...\n", ln.Addr(), cfg.Nodes)
 		f, err := fleet.Listen(cfg, ln)
 		if err != nil {

@@ -29,13 +29,16 @@
 // the Welcome handshake, so the simulation flags above are ignored:
 //
 //	insitu-node -connect 127.0.0.1:9433 -node-id 0
+//
+// The agent survives the wire: when the connection dies it redials with
+// jittered backoff for up to -reconnect-window and resumes the session
+// the cloud kept for its node id.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
-	"net"
 	"os"
 	"strconv"
 	"strings"
@@ -53,24 +56,21 @@ import (
 	"insitu/internal/planner"
 )
 
-// runAgent dials the cloud (retrying while it comes up) and serves the
-// wire protocol until the cloud says Bye or the connection dies.
-func runAgent(addr string, nodeID int) int {
-	var conn net.Conn
-	var err error
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		conn, err = net.Dial("tcp", addr)
-		if err == nil {
-			break
-		}
-		if time.Now().After(deadline) {
-			fmt.Fprintln(os.Stderr, "insitu-node: connect:", err)
-			return 1
-		}
-		time.Sleep(250 * time.Millisecond)
-	}
-	if err := fleet.RunAgent(conn, nodeID); err != nil {
+// runAgent serves the wire protocol under fleet.ServeLoop supervision:
+// dial (retrying while the cloud comes up), serve, and on disconnect
+// redial with jittered backoff to rejoin the session the cloud kept for
+// this node id — until a clean Bye, a superseding process, or the
+// reconnect window runs out.
+func runAgent(addr string, nodeID int, window time.Duration) int {
+	err := fleet.ServeLoop(fleet.AgentConfig{
+		Addr:            addr,
+		NodeID:          nodeID,
+		ReconnectWindow: window,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "insitu-node: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "insitu-node:", err)
 		return 1
 	}
@@ -81,6 +81,8 @@ func main() {
 	connect := flag.String("connect", "",
 		"cloud address to serve as a wire-protocol fleet node (agent mode; simulation flags are ignored)")
 	nodeID := flag.Int("node-id", -1, "requested fleet node id in -connect mode (-1 = cloud assigns)")
+	reconnectWindow := flag.Duration("reconnect-window", time.Minute,
+		"in -connect mode, keep redialing this long after losing the cloud before giving up (0 = exit with the first session)")
 	variant := flag.String("variant", "d", "IoT system variant: a, b, c or d")
 	bootstrap := flag.Int("bootstrap", 100, "bootstrap capture size")
 	stagesArg := flag.String("stages", "200,400,800", "comma-separated per-stage capture counts")
@@ -95,7 +97,7 @@ func main() {
 	flag.Parse()
 
 	if *connect != "" {
-		os.Exit(runAgent(*connect, *nodeID))
+		os.Exit(runAgent(*connect, *nodeID, *reconnectWindow))
 	}
 
 	var kind core.SystemKind

@@ -90,16 +90,23 @@ func render(fs health.FleetStatus) string {
 	tab := metrics.NewTable(
 		fmt.Sprintf("fleet health — %s (round %d: %d healthy / %d degraded / %d unhealthy / %d unknown)",
 			fs.Status(), fs.Rounds, fs.Healthy, fs.Degraded, fs.Unhealthy, fs.Unknown),
-		"node", "verdict", "rounds", "fail rate", "p50 ms", "p95 ms", "p99 ms",
+		"node", "verdict", "link", "rounds", "fail rate", "p50 ms", "p95 ms", "p99 ms",
 		"drift", "model", "stragglers")
 	for _, n := range fs.Nodes {
 		drift := fmt.Sprintf("%.3f", n.Drift)
 		if n.Drifting {
 			drift += " !"
 		}
+		link := "up"
+		if n.Disconnected {
+			link = "DISCONNECTED"
+		} else if n.Rejoins > 0 {
+			link = fmt.Sprintf("up (%d rejoins)", n.Rejoins)
+		}
 		tab.AddRow(
 			fmt.Sprintf("%d", n.Node),
 			n.Verdict,
+			link,
 			fmt.Sprintf("%d", n.Rounds),
 			fmt.Sprintf("%.0f%%", n.FailureRate*100),
 			fmt.Sprintf("%.2f", n.AdmitP50Seconds*1e3),

@@ -104,11 +104,24 @@ func (f *Fleet) Checkpoint(w io.Writer) error {
 	// deployment shapes and a local checkpoint restores into a remote
 	// fleet and vice versa.
 	for _, p := range f.peers {
-		rep := peerState(p, workerCmd{kind: cmdStateSave, round: f.round})
-		if rep.err != nil {
-			return fmt.Errorf("fleet: saving node %d state: %w", p.id(), rep.err)
+		var blob []byte
+		if rp, ok := p.(*remotePeer); ok && rp.isParked() {
+			// A parked node cannot answer, but at a round boundary its
+			// in-memory session blob IS its state — bit-identical to what
+			// the node would have serialized, since it participated in
+			// every round up to its last saved boundary.
+			b, current := rp.currentBlob()
+			if !current {
+				return fmt.Errorf("fleet: node %d is disconnected with un-saved round state; cannot checkpoint", p.id())
+			}
+			blob = b
+		} else {
+			rep := peerState(p, workerCmd{kind: cmdStateSave, round: f.round})
+			if rep.err != nil {
+				return fmt.Errorf("fleet: saving node %d state: %w", p.id(), rep.err)
+			}
+			blob = rep.data
 		}
-		blob := rep.data
 		if err := ckpt.WriteBlob(bw, func(w io.Writer) error {
 			_, err := w.Write(blob)
 			return err
@@ -218,6 +231,11 @@ func (f *Fleet) Restore(r io.Reader) error {
 		}
 		if rep := peerState(p, workerCmd{kind: cmdStateLoad, round: f.round, stateIn: data}); rep.err != nil {
 			return rep.err
+		}
+		if rp, ok := p.(*remotePeer); ok {
+			// The restored state is also the node's session blob: a node
+			// process that dies right after the restore rejoins from here.
+			rp.setBlob(data)
 		}
 	}
 

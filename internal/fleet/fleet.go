@@ -21,6 +21,8 @@ package fleet
 
 import (
 	"fmt"
+	"net"
+	"sync"
 	"time"
 
 	"insitu/internal/cloud"
@@ -88,6 +90,20 @@ type Config struct {
 	// (wait forever) is what makes runs deterministic, and
 	// checkpointing requires 0.
 	RoundTimeout time.Duration
+	// Lease, for wire fleets, is the membership liveness bound: a node
+	// whose connection has carried nothing (heartbeats included) for
+	// longer than this is parked out of the round — reported
+	// Disconnected, skipped by later broadcasts — and rounds proceed
+	// without it as long as MinQuorum nodes remain. 0 disables leases:
+	// a silent node holds its round forever (or until RoundTimeout).
+	// Unlike RoundTimeout, lease expiry keeps reports byte-identical
+	// for every round the node does participate in, because a parked
+	// node that rejoins is rebuilt to its exact pre-death state.
+	Lease time.Duration
+	// MinQuorum is the minimum number of round participants lease
+	// expiry may leave behind; parking that would go below it is
+	// deferred until a node rejoins. <=0 means 1.
+	MinQuorum int
 	// Trace receives fleet.round / fleet.upload / fleet.deploy events
 	// (and fleet.health when Health is set).
 	Trace *telemetry.Tracer
@@ -133,6 +149,10 @@ type NodeReport struct {
 	UploadFailed  bool
 	// TimedOut marks a node the round completed without (RoundTimeout).
 	TimedOut bool
+	// Disconnected marks a node parked past its lease (wire fleets):
+	// the round ran without it under MinQuorum semantics. Exclusive
+	// with TimedOut.
+	Disconnected bool
 	// Admitted is how many of this node's arrived samples passed the
 	// server's admission cap into the retrain.
 	Admitted int
@@ -191,6 +211,16 @@ type Fleet struct {
 	// remote is set for fleets built by Listen: peers speak the wire
 	// protocol, so deploy bundles are frame-encoded once per round.
 	remote bool
+	outage map[int]bool
+
+	// Membership plumbing (wire fleets; see membership.go). memberMu
+	// guards the fields below plus peer-slot creation and closed.
+	memberMu  sync.Mutex
+	ln        net.Listener
+	lnDone    chan struct{} // accept loop exited
+	joined    map[int]bool  // slots that completed a first handshake
+	allJoined chan struct{} // closed when every slot has joined once
+	acceptErr error
 
 	// stall, when set, delays a node's capture — the straggler test
 	// hook exercising RoundTimeout.
@@ -213,6 +243,7 @@ func newServer(cfg Config) *Fleet {
 	}
 	f.jigTr = jigsaw.NewTrainer(f.cloudJig, f.permSet, 0.01, cfg.Seed+5)
 	f.cloudDiag = diagnosis.NewJigsawDiagnoser(f.cloudJig, f.permSet, cfg.Probes, cfg.Seed+6)
+	f.outage = f.outageSet()
 	depth := cfg.QueueDepth
 	if depth <= 0 {
 		depth = cfg.Nodes
@@ -234,22 +265,31 @@ func (f *Fleet) outageSet() map[int]bool {
 // call Bootstrap before RunRound, and Close when done with the fleet.
 func New(cfg Config) *Fleet {
 	f := newServer(cfg)
-	outage := f.outageSet()
 	f.peers = make([]peer, cfg.Nodes)
 	for i := range f.peers {
-		f.peers[i] = newLocalPeer(f, newFleetNode(cfg, i, outage[i], f.permSet))
+		f.peers[i] = newLocalPeer(f, newFleetNode(cfg, i, f.outage[i], f.permSet))
 	}
 	return f
 }
 
-// Close stops the node peers (workers or connections). The fleet must
-// be quiesced (no round in flight); further rounds panic.
+// Close stops the node peers (workers or connections) and, for wire
+// fleets, the listener and its accept loop. The fleet must be quiesced
+// (no round in flight); further rounds panic.
 func (f *Fleet) Close() {
+	f.memberMu.Lock()
 	if f.closed {
+		f.memberMu.Unlock()
 		return
 	}
 	f.closed = true
-	for _, p := range f.peers {
+	ln, lnDone := f.ln, f.lnDone
+	peers := append([]peer(nil), f.peers...)
+	f.memberMu.Unlock()
+	if ln != nil {
+		ln.Close()
+		<-lnDone
+	}
+	for _, p := range peers {
 		if p != nil { // Listen may abort with slots never filled
 			p.shutdown()
 		}
@@ -281,8 +321,9 @@ func (f *Fleet) Bootstrap(n int) RoundReport {
 		panic("fleet: Bootstrap after rounds have run")
 	}
 	start := time.Now()
-	want := f.broadcast(workerCmd{kind: cmdCapture, round: 0, n: n, bootstrap: true})
-	ups, lats := f.collectUploads(0, want, start)
+	parked := make(map[int]bool)
+	expected := f.broadcast(workerCmd{kind: cmdCapture, round: 0, n: n, bootstrap: true}, parked)
+	ups, lats := f.collectUploads(0, expected, start, parked)
 	admitted, trainSet, _ := f.admit(ups)
 
 	if len(trainSet) > 0 {
@@ -298,8 +339,9 @@ func (f *Fleet) Bootstrap(n int) RoundReport {
 	// Incremental rounds use the gentler update rate, like core.
 	f.jigTr.Opt.LR = 0.005
 
-	rep := f.deployRound(0, ups, admitted, len(trainSet), 0, lats)
+	rep := f.deployRound(0, ups, admitted, len(trainSet), 0, lats, parked)
 	f.round = 1
+	f.saveSessions()
 	f.wall += time.Since(start).Seconds()
 	return rep
 }
@@ -313,8 +355,9 @@ func (f *Fleet) RunRound(n int) RoundReport {
 	}
 	start := time.Now()
 	round := f.round
-	want := f.broadcast(workerCmd{kind: cmdCapture, round: round, n: n})
-	ups, lats := f.collectUploads(round, want, start)
+	parked := make(map[int]bool)
+	expected := f.broadcast(workerCmd{kind: cmdCapture, round: round, n: n}, parked)
+	ups, lats := f.collectUploads(round, expected, start, parked)
 	admitted, trainSet, calibs := f.admit(ups)
 
 	locked := 0
@@ -344,48 +387,76 @@ func (f *Fleet) RunRound(n int) RoundReport {
 		f.cloudDiag.SetThreshold(0.5*prev + 0.5*f.cloudDiag.Threshold())
 	}
 
-	rep := f.deployRound(round, ups, admitted, len(trainSet), locked, lats)
+	rep := f.deployRound(round, ups, admitted, len(trainSet), locked, lats, parked)
 	f.round++
+	f.saveSessions()
 	f.wall += time.Since(start).Seconds()
 	return rep
 }
 
-// broadcast sends one command to every worker, returning how many were
-// actually reached. Without a RoundTimeout the sends block (workers
-// always drain their queue, so this cannot deadlock); with one, a
-// stalled worker whose command buffer is full is skipped — the round
-// will mark it TimedOut.
-func (f *Fleet) broadcast(cmd workerCmd) int {
+// broadcast sends one command to every participating worker and
+// returns the set of node ids a response is expected from. Parked
+// (lease-expired) peers are skipped and recorded in parked. Without a
+// RoundTimeout the sends block (workers always drain their queue, so
+// this cannot deadlock); with one, a stalled worker whose command
+// buffer is full is skipped — the round will mark it TimedOut. Round
+// commands delivered to remote peers also land on their rejoin replay
+// list, so a mid-round restart re-executes exactly this command
+// stream.
+func (f *Fleet) broadcast(cmd workerCmd, parked map[int]bool) map[int]bool {
 	if f.closed {
 		panic("fleet: round after Close")
 	}
-	sent := 0
+	expected := make(map[int]bool, len(f.peers))
 	for _, p := range f.peers {
+		rp, _ := p.(*remotePeer)
+		if rp != nil && rp.isParked() {
+			parked[p.id()] = true
+			continue
+		}
 		if p.enqueue(cmd, f.Cfg.RoundTimeout <= 0) {
-			sent++
+			expected[p.id()] = true
+			if rp != nil {
+				rp.noteRoundCmd(cmd)
+			}
 		}
 	}
-	return sent
+	return expected
 }
 
-// collect gathers `want` responses of the given kind/round from the
-// shared results queue, discarding stale leftovers from timed-out
+// collect gathers the expected responses of the given kind/round from
+// the shared results queue, discarding stale leftovers from timed-out
 // phases. Returns per-node-id messages plus each node's wall-clock
 // arrival latency since start (the health plane's admission-latency
-// signal; latencies never enter RoundReports). Missing ids timed out.
-func (f *Fleet) collect(kind cmdKind, round, want int, start time.Time) (map[int]roundMsg, map[int]float64) {
-	got := make(map[int]roundMsg, want)
-	lats := make(map[int]float64, want)
+// signal; latencies never enter RoundReports). Missing ids timed out
+// or, under lease expiry, were parked mid-collect (recorded in
+// parked, removed from expected).
+func (f *Fleet) collect(kind cmdKind, round int, expected map[int]bool, start time.Time, parked map[int]bool) (map[int]roundMsg, map[int]float64) {
+	got := make(map[int]roundMsg, len(expected))
+	lats := make(map[int]float64, len(expected))
 	var timeout <-chan time.Time
 	if f.Cfg.RoundTimeout > 0 {
 		timer := time.NewTimer(f.Cfg.RoundTimeout)
 		defer timer.Stop()
 		timeout = timer.C
 	}
-	for len(got) < want {
+	var leaseTick <-chan time.Time
+	if f.remote && f.Cfg.Lease > 0 {
+		poll := f.Cfg.Lease / 4
+		if poll < 25*time.Millisecond {
+			poll = 25 * time.Millisecond
+		}
+		if poll > 250*time.Millisecond {
+			poll = 250 * time.Millisecond
+		}
+		ticker := time.NewTicker(poll)
+		defer ticker.Stop()
+		leaseTick = ticker.C
+	}
+	for len(got) < len(expected) {
 		select {
 		case m := <-f.results:
-			if m.kind != kind || m.round != round {
+			if m.kind != kind || m.round != round || !expected[m.node] {
 				countStaleDiscard()
 				continue
 			}
@@ -393,16 +464,20 @@ func (f *Fleet) collect(kind cmdKind, round, want int, start time.Time) (map[int
 			lats[m.node] = time.Since(start).Seconds()
 		case <-timeout:
 			return got, lats
+		case <-leaseTick:
+			for _, id := range f.parkExpired(expected, got) {
+				parked[id] = true
+			}
 		}
 	}
 	return got, lats
 }
 
 // collectUploads normalizes the capture phase into a dense per-node
-// slice (nil = timed out), restoring node-id order so every later step
-// is deterministic regardless of goroutine scheduling.
-func (f *Fleet) collectUploads(round, want int, start time.Time) ([]*uploadData, map[int]float64) {
-	msgs, lats := f.collect(cmdCapture, round, want, start)
+// slice (nil = timed out or parked), restoring node-id order so every
+// later step is deterministic regardless of goroutine scheduling.
+func (f *Fleet) collectUploads(round int, expected map[int]bool, start time.Time, parked map[int]bool) ([]*uploadData, map[int]float64) {
+	msgs, lats := f.collect(cmdCapture, round, expected, start, parked)
 	ups := make([]*uploadData, len(f.peers))
 	for id, m := range msgs {
 		up := m.up
@@ -442,7 +517,7 @@ func (f *Fleet) admit(ups []*uploadData) (admitted []int, trainSet, calibs []dat
 // over its own downlink, collects the per-node outcomes and assembles
 // the round report. admitLats carries the capture phase's wall-clock
 // arrival latencies for the health plane.
-func (f *Fleet) deployRound(round int, ups []*uploadData, admitted []int, trained, locked int, admitLats map[int]float64) RoundReport {
+func (f *Fleet) deployRound(round int, ups []*uploadData, admitted []int, trained, locked int, admitLats map[int]float64, parked map[int]bool) RoundReport {
 	f.cloudVersion++
 	bundle, err := deploy.Pack(f.cloudVersion, f.cloudInfer, f.cloudJig, f.cloudDiag.Threshold())
 	if err != nil {
@@ -456,8 +531,8 @@ func (f *Fleet) deployRound(round int, ups []*uploadData, admitted []int, traine
 			panic(fmt.Sprintf("fleet: encoding deployment: %v", err))
 		}
 	}
-	want := f.broadcast(cmd)
-	deps, _ := f.collect(cmdDeploy, round, want, time.Now())
+	expected := f.broadcast(cmd, parked)
+	deps, _ := f.collect(cmdDeploy, round, expected, time.Now(), parked)
 
 	rep := RoundReport{
 		Round:        round,
@@ -469,6 +544,10 @@ func (f *Fleet) deployRound(round int, ups []*uploadData, admitted []int, traine
 	accSum, accN := 0.0, 0
 	for id := range f.peers {
 		nr := NodeReport{Node: id, TimedOut: true}
+		if parked[id] {
+			nr.TimedOut = false
+			nr.Disconnected = true
+		}
 		if up := ups[id]; up != nil {
 			nr.TimedOut = false
 			nr.Captured = up.captured
@@ -499,7 +578,7 @@ func (f *Fleet) deployRound(round int, ups []*uploadData, admitted []int, traine
 			nr.DeployBackoffSeconds = d.res.Backoff
 			accSum += d.accuracy
 			accN++
-		} else {
+		} else if !parked[id] {
 			nr.TimedOut = true
 		}
 		rep.Admitted += admitted[id]

@@ -27,6 +27,10 @@ func (f *Fleet) recordHealth(rep RoundReport, admitLats map[int]float64, respond
 			lat = -1 // straggler: never admitted this round
 		}
 		_, answered := responded[nr.Node]
+		var disconnects, rejoins int
+		if rp, ok := f.peers[nr.Node].(*remotePeer); ok {
+			_, disconnects, rejoins = rp.churn()
+		}
 		st := ht.Record(health.Sample{
 			Node:          nr.Node,
 			Round:         rep.Round,
@@ -34,6 +38,9 @@ func (f *Fleet) recordHealth(rep RoundReport, admitLats map[int]float64, respond
 			UploadFailed:  nr.UploadFailed,
 			DeployFailed:  nr.DeployFailed,
 			TimedOut:      nr.TimedOut,
+			Disconnected:  nr.Disconnected,
+			Disconnects:   disconnects,
+			Rejoins:       rejoins,
 			ModelVersion:  nr.ModelVersion,
 			Accuracy:      nr.NodeAccuracy,
 			AccuracyValid: answered,
@@ -43,7 +50,7 @@ func (f *Fleet) recordHealth(rep RoundReport, admitLats map[int]float64, respond
 				"round": rep.Round, "node": nr.Node, "verdict": st.Verdict,
 				"admit_p99_s": st.AdmitP99Seconds, "fail_rate": st.FailureRate,
 				"drift": st.Drift, "drifting": st.Drifting,
-				"version": st.ModelVersion,
+				"version": st.ModelVersion, "disconnected": nr.Disconnected,
 			})
 		}
 	}

@@ -1,6 +1,8 @@
 package fleet
 
 import (
+	"time"
+
 	"insitu/internal/dataset"
 	"insitu/internal/deploy"
 	"insitu/internal/diagnosis"
@@ -57,6 +59,10 @@ type workerCmd struct {
 	// state commands.
 	stateIn []byte
 	reply   chan stateReply
+	// deadline, when set, bounds how long a remote peer's request loop
+	// waits for the answer (session saves under a lease); zero waits
+	// as long as the session lives. Local peers ignore it.
+	deadline time.Time
 }
 
 // stateReply answers cmdStateSave (data) and cmdStateLoad (err).

@@ -24,6 +24,7 @@ type fleetStats struct {
 	timeouts       *telemetry.Counter // fleet_timeouts_total (node-rounds abandoned)
 	deployFailures *telemetry.Counter // fleet_deploy_failures_total
 	staleDiscards  *telemetry.Counter // fleet_stale_messages_total (post-timeout leftovers)
+	parked         *telemetry.Counter // fleet_parked_total (lease expiries)
 	retrainSec     *telemetry.Gauge   // fleet_retrain_seconds_total (modeled, cumulative)
 	meanAccuracy   *telemetry.Gauge   // fleet_mean_accuracy (last round)
 }
@@ -47,6 +48,7 @@ func EnableTelemetry(reg *telemetry.Registry) {
 		timeouts:       reg.Counter("fleet_timeouts_total"),
 		deployFailures: reg.Counter("fleet_deploy_failures_total"),
 		staleDiscards:  reg.Counter("fleet_stale_messages_total"),
+		parked:         reg.Counter("fleet_parked_total"),
 		retrainSec:     reg.Gauge("fleet_retrain_seconds_total"),
 		meanAccuracy:   reg.Gauge("fleet_mean_accuracy"),
 	})
@@ -61,6 +63,13 @@ func (st *fleetStats) nodeCounter(name string, id int) *telemetry.Counter {
 func countStaleDiscard() {
 	if st := stats.Load(); st != nil {
 		st.staleDiscards.Inc()
+	}
+}
+
+// countParked tallies one lease expiry (a node parked out of a round).
+func countParked() {
+	if st := stats.Load(); st != nil {
+		st.parked.Inc()
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"insitu/internal/ckpt"
 	"insitu/internal/core"
@@ -39,10 +40,17 @@ type Options struct {
 	QueueDepth      int
 	MaxRoundSamples int
 	KillAfter       int
+	RoundTimeout    time.Duration
+	Lease           time.Duration
+	MinQuorum       int
 	DriftDrop       float64
 	AdmitP99SLO     float64
 	HealthOut       string
 	Obs             obs.Flags
+
+	// Wire marks the binary as the wire cloud (set by insitu-cloud, not a
+	// flag); it selects the auto default for -round-timeout.
+	Wire bool
 }
 
 // AddFlags registers the shared fleet flags on fs.
@@ -61,6 +69,18 @@ func (o *Options) AddFlags(fs *flag.FlagSet) {
 	fs.IntVar(&o.MaxRoundSamples, "max-round-samples", 0, "per-round retrain admission cap in samples (0 = unlimited)")
 	fs.IntVar(&o.KillAfter, "kill-after-round", -1,
 		"SIGKILL the process right after this round's checkpoint lands (crash-injection; needs -state-dir)")
+	// The three stall valves interact: RoundTimeout abandons a CONNECTED
+	// node that stops answering (its leftovers are discarded, reports may
+	// differ run to run); the lease parks a node whose CONNECTION went
+	// silent, deterministically, and keeps its session for rejoin;
+	// MinQuorum is the floor under lease parking — below it the round
+	// waits for rejoins instead of shrinking further.
+	fs.DurationVar(&o.RoundTimeout, "round-timeout", -1,
+		"abandon a round's stragglers after this long (-1 auto: 2m for the wire cloud without -state-dir, else 0 = wait forever)")
+	fs.DurationVar(&o.Lease, "lease", 0,
+		"wire only: park a node whose connection has been silent this long; it rejoins by redialing (0 = never)")
+	fs.IntVar(&o.MinQuorum, "min-quorum", 0,
+		"wire only: never lease-park below this many participating nodes in a round (0 = 1)")
 	fs.Float64Var(&o.DriftDrop, "drift-drop", 0.15,
 		"degrade a node whose EWMA accuracy falls this far below its deploy-time baseline (0 disables the drift monitor)")
 	fs.Float64Var(&o.AdmitP99SLO, "admit-p99-slo", 0,
@@ -161,6 +181,25 @@ func (o *Options) Run(name string, build func(fleet.Config) (*fleet.Fleet, error
 		return 2
 	}
 
+	// Resolve -round-timeout: auto (-1) picks a positive default only for
+	// the wire cloud running without a checkpoint store — a wedged remote
+	// node must not hold collect forever, but checkpoints require a fully
+	// quiesced fleet (an abandoned straggler could still be running).
+	rt := o.RoundTimeout
+	if rt < 0 {
+		rt = 0
+		if o.Wire && store == nil {
+			rt = 2 * time.Minute
+		}
+	}
+	if rt > 0 && store != nil {
+		fmt.Fprintln(os.Stderr, name+": -round-timeout must be 0 with -state-dir (checkpoints need a quiesced fleet); use -lease for churn")
+		return 2
+	}
+	cfg.RoundTimeout = rt
+	cfg.Lease = o.Lease
+	cfg.MinQuorum = o.MinQuorum
+
 	fl, err := build(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, name+":", err)
@@ -203,7 +242,7 @@ func (o *Options) Run(name string, build func(fleet.Config) (*fleet.Fleet, error
 	add := func(r fleet.RoundReport) {
 		failures := 0
 		for _, nr := range r.Nodes {
-			if nr.UploadFailed || nr.DeployFailed || nr.TimedOut {
+			if nr.UploadFailed || nr.DeployFailed || nr.TimedOut || nr.Disconnected {
 				failures++
 			}
 		}
@@ -285,6 +324,8 @@ func (o *Options) Run(name string, build func(fleet.Config) (*fleet.Fleet, error
 	for _, nr := range last.Nodes {
 		status := fmt.Sprintf("ok(%d)", nr.DeployAttempts)
 		switch {
+		case nr.Disconnected:
+			status = "DISCONNECTED"
 		case nr.TimedOut:
 			status = "TIMED OUT"
 		case nr.DeployFailed:

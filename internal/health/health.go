@@ -170,6 +170,14 @@ type Sample struct {
 	DeployFailed bool
 	TimedOut     bool
 
+	// Disconnected marks a node parked past its membership lease this
+	// round (wire fleets); Disconnects/Rejoins are the node's lifetime
+	// session-churn counters from the transport (absolute values; the
+	// tracker keeps the latest). In-process fleets leave all three zero.
+	Disconnected bool
+	Disconnects  int
+	Rejoins      int
+
 	// ModelVersion is the model the node is running after this round's
 	// deploy phase; a version change on a successful deploy resets the
 	// drift baseline.
@@ -186,9 +194,12 @@ type roundObs struct {
 	uploadFailed bool
 	deployFailed bool
 	timedOut     bool
+	disconnected bool
 }
 
-func (o roundObs) bad() bool { return o.uploadFailed || o.deployFailed || o.timedOut }
+func (o roundObs) bad() bool {
+	return o.uploadFailed || o.deployFailed || o.timedOut || o.disconnected
+}
 
 // node is the tracker's per-node state.
 type node struct {
@@ -211,6 +222,12 @@ type node struct {
 	deployFailures int
 	stragglers     int
 	rounds         int
+
+	// membership churn: current link state plus the transport's lifetime
+	// counters (latest absolute values win; see Sample).
+	disconnected bool
+	disconnects  int
+	rejoins      int
 
 	verdict      Verdict
 	streakTarget Verdict
@@ -239,6 +256,12 @@ type NodeStatus struct {
 	Baseline     float64 `json:"accuracy_baseline"`
 	Drift        float64 `json:"drift"`
 	Drifting     bool    `json:"drifting"`
+
+	// Membership: whether the node is currently parked past its lease,
+	// and how many sessions it has lost/re-established over its lifetime.
+	Disconnected bool `json:"disconnected"`
+	Disconnects  int  `json:"disconnects"`
+	Rejoins      int  `json:"rejoins"`
 
 	verdict Verdict
 }
@@ -341,6 +364,7 @@ func (t *Tracker) Record(s Sample) NodeStatus {
 		uploadFailed: s.UploadFailed,
 		deployFailed: s.DeployFailed,
 		timedOut:     s.TimedOut,
+		disconnected: s.Disconnected,
 	}
 	nd.next = (nd.next + 1) % len(nd.ring)
 	if nd.n < len(nd.ring) {
@@ -355,6 +379,13 @@ func (t *Tracker) Record(s Sample) NodeStatus {
 	}
 	if s.TimedOut {
 		nd.stragglers++
+	}
+	nd.disconnected = s.Disconnected
+	if s.Disconnects > nd.disconnects {
+		nd.disconnects = s.Disconnects
+	}
+	if s.Rejoins > nd.rejoins {
+		nd.rejoins = s.Rejoins
 	}
 	if s.AdmitSeconds >= 0 {
 		nd.lat.Observe(s.AdmitSeconds)
@@ -424,6 +455,9 @@ func (t *Tracker) statusLocked(nd *node) NodeStatus {
 		Baseline:        nd.baseline,
 		Drift:           drift,
 		Drifting:        drifting,
+		Disconnected:    nd.disconnected,
+		Disconnects:     nd.disconnects,
+		Rejoins:         nd.rejoins,
 	}
 }
 
@@ -431,6 +465,10 @@ func (t *Tracker) statusLocked(nd *node) NodeStatus {
 // with no hysteresis.
 func (t *Tracker) targetLocked(s NodeStatus) Verdict {
 	switch {
+	// A node parked past its membership lease is unconditionally
+	// unhealthy: it is not participating in rounds at all.
+	case s.Disconnected:
+		return Unhealthy
 	case s.FailureRate >= t.slo.UnhealthyFailureRate:
 		return Unhealthy
 	case s.FailureRate >= t.slo.DegradedFailureRate,
@@ -483,6 +521,11 @@ func (t *Tracker) exportLocked(nd *node, s NodeStatus) {
 	t.reg.Gauge(telemetry.Label("fleet_node_admit_p99_seconds", "node", id)).Set(s.AdmitP99Seconds)
 	t.reg.Gauge(telemetry.Label("fleet_node_failure_rate", "node", id)).Set(s.FailureRate)
 	t.reg.Gauge(telemetry.Label("fleet_node_drift", "node", id)).Set(s.Drift)
+	disc := 0.0
+	if s.Disconnected {
+		disc = 1
+	}
+	t.reg.Gauge(telemetry.Label("fleet_node_disconnected", "node", id)).Set(disc)
 	var h, d, u, k int
 	for _, other := range t.nodes {
 		switch other.verdict {

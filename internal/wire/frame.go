@@ -47,10 +47,13 @@ const (
 )
 
 // Protocol versions this build speaks. Hello advertises the range,
-// Welcome pins the highest mutually supported version.
+// Welcome pins the highest mutually supported version. Version 2 added
+// fleet membership: session epochs in Hello/Welcome, the heartbeat
+// frame, and the lease interval in NodeConfig — layout changes, so
+// version 1 peers are rejected at negotiation.
 const (
-	ProtoMin uint8 = 1
-	ProtoMax uint8 = 1
+	ProtoMin uint8 = 2
+	ProtoMax uint8 = 2
 )
 
 // ErrCRC marks a frame whose checksum failed but whose framing fields
@@ -90,6 +93,10 @@ const (
 	MsgError
 	// MsgBye ends the session cleanly.
 	MsgBye
+	// MsgHeartbeat is a node→cloud liveness beacon carrying the session
+	// epoch. It needs no answer; its arrival (like any frame's) refreshes
+	// the node's lease on the cloud.
+	MsgHeartbeat
 )
 
 // String implements fmt.Stringer.
@@ -119,6 +126,8 @@ func (t MsgType) String() string {
 		return "error"
 	case MsgBye:
 		return "bye"
+	case MsgHeartbeat:
+		return "heartbeat"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}

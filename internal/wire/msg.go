@@ -132,6 +132,12 @@ type Hello struct {
 	Node int32
 	// MinProto/MaxProto is the protocol version range this node speaks.
 	MinProto, MaxProto uint8
+	// Epoch is the session epoch from the node's last Welcome, or 0 for
+	// a fresh process. The cloud uses it to tell a surviving process
+	// redialing after a network blip (epoch matches: reattach, the node's
+	// state is live) from a restarted one (epoch stale or 0: restore the
+	// last round-boundary state blob and replay the round's commands).
+	Epoch uint64
 }
 
 // Encode serializes the message payload.
@@ -140,14 +146,20 @@ func (h Hello) Encode() []byte {
 	e.u32(uint32(h.Node))
 	e.u8(h.MinProto)
 	e.u8(h.MaxProto)
+	e.u64(h.Epoch)
 	b, _ := e.bytes()
 	return b
 }
 
-// DecodeHello parses a MsgHello payload.
+// DecodeHello parses a MsgHello payload. The epoch is optional on
+// decode so a proto-1 Hello still parses far enough for the cloud to
+// answer with a proper negotiation-failure Error instead of a hangup.
 func DecodeHello(payload []byte) (Hello, error) {
 	d := newDec(payload)
 	h := Hello{Node: int32(d.u32()), MinProto: d.u8(), MaxProto: d.u8()}
+	if d.err == nil && d.r.Len() >= 8 {
+		h.Epoch = d.u64()
+	}
 	return h, d.done()
 }
 
@@ -205,6 +217,10 @@ type NodeConfig struct {
 	// Outage marks this node as permanently dark (both directions) in
 	// the *simulated* link model; the wire transport still functions.
 	Outage bool
+	// HeartbeatMs is how often the node should send MsgHeartbeat while
+	// otherwise idle, in milliseconds. 0 = no heartbeats (the cloud runs
+	// without leases).
+	HeartbeatMs uint32
 }
 
 func (c NodeConfig) encode(e *enc) {
@@ -223,6 +239,7 @@ func (c NodeConfig) encode(e *enc) {
 	c.Uplink.encode(e)
 	c.Downlink.encode(e)
 	e.bool(c.Outage)
+	e.u32(c.HeartbeatMs)
 }
 
 func decodeNodeConfig(d *dec) NodeConfig {
@@ -242,6 +259,7 @@ func decodeNodeConfig(d *dec) NodeConfig {
 		Uplink:            decodeFaultSpec(d),
 		Downlink:          decodeFaultSpec(d),
 		Outage:            d.bool(),
+		HeartbeatMs:       d.u32(),
 	}
 }
 
@@ -251,7 +269,11 @@ type Welcome struct {
 	Proto uint8
 	// Node is the id this connection serves.
 	Node uint32
-	Cfg  NodeConfig
+	// Epoch is the cloud-assigned session epoch for this attachment; the
+	// node echoes it in its next Hello so the cloud can distinguish a
+	// surviving process from a restarted one.
+	Epoch uint64
+	Cfg   NodeConfig
 }
 
 // Encode serializes the message payload.
@@ -259,6 +281,7 @@ func (w Welcome) Encode() []byte {
 	var e enc
 	e.u8(w.Proto)
 	e.u32(w.Node)
+	e.u64(w.Epoch)
 	w.Cfg.encode(&e)
 	b, _ := e.bytes()
 	return b
@@ -267,7 +290,7 @@ func (w Welcome) Encode() []byte {
 // DecodeWelcome parses a MsgWelcome payload.
 func DecodeWelcome(payload []byte) (Welcome, error) {
 	d := newDec(payload)
-	w := Welcome{Proto: d.u8(), Node: d.u32(), Cfg: decodeNodeConfig(d)}
+	w := Welcome{Proto: d.u8(), Node: d.u32(), Epoch: d.u64(), Cfg: decodeNodeConfig(d)}
 	return w, d.done()
 }
 
@@ -512,6 +535,22 @@ func DecodeStateLoaded(payload []byte) (uint32, string, error) {
 	tag := d.u32()
 	s := d.str()
 	return tag, s, d.done()
+}
+
+// EncodeHeartbeat builds a MsgHeartbeat payload carrying the session
+// epoch (debuggability: a stray beat names the session it came from).
+func EncodeHeartbeat(epoch uint64) []byte {
+	var e enc
+	e.u64(epoch)
+	b, _ := e.bytes()
+	return b
+}
+
+// DecodeHeartbeat parses a MsgHeartbeat payload.
+func DecodeHeartbeat(payload []byte) (uint64, error) {
+	d := newDec(payload)
+	epoch := d.u64()
+	return epoch, d.done()
 }
 
 // EncodeError builds a MsgError payload.

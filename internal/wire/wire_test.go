@@ -129,7 +129,8 @@ func TestHelloRoundTrip(t *testing.T) {
 	t.Parallel()
 	for _, h := range []Hello{
 		{Node: -1, MinProto: 1, MaxProto: 1},
-		{Node: 7, MinProto: 1, MaxProto: 3},
+		{Node: 7, MinProto: 1, MaxProto: 3, Epoch: 42},
+		{Node: 2, MinProto: 2, MaxProto: 2, Epoch: 1<<40 + 3},
 	} {
 		got, err := DecodeHello(h.Encode())
 		if err != nil {
@@ -139,6 +140,27 @@ func TestHelloRoundTrip(t *testing.T) {
 			t.Fatalf("got %+v, want %+v", got, h)
 		}
 	}
+	// A proto-1 Hello (no epoch field) must still parse — the cloud
+	// answers it with a negotiation Error rather than a hangup.
+	old := Hello{Node: 5, MinProto: 1, MaxProto: 1}.Encode()[:6]
+	got, err := DecodeHello(old)
+	if err != nil {
+		t.Fatalf("epoch-less hello: %v", err)
+	}
+	if got.Node != 5 || got.Epoch != 0 {
+		t.Fatalf("epoch-less hello decoded as %+v", got)
+	}
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	t.Parallel()
+	epoch, err := DecodeHeartbeat(EncodeHeartbeat(77))
+	if err != nil || epoch != 77 {
+		t.Fatalf("heartbeat: got (%d, %v), want (77, nil)", epoch, err)
+	}
+	if _, err := DecodeHeartbeat(nil); err == nil {
+		t.Fatal("empty heartbeat payload must not decode")
+	}
 }
 
 func TestWelcomeRoundTrip(t *testing.T) {
@@ -146,6 +168,7 @@ func TestWelcomeRoundTrip(t *testing.T) {
 	w := Welcome{
 		Proto: 1,
 		Node:  3,
+		Epoch: 9,
 		Cfg: NodeConfig{
 			Kind: 2, Classes: 3, PermClasses: 4, SharedConvs: 2, Probes: 5,
 			Seed: 0xDEADBEEF, InSituFrac: 0.25, Severity: 0.6,
@@ -153,8 +176,9 @@ func TestWelcomeRoundTrip(t *testing.T) {
 			DeployRetries: 4,
 			Uplink: FaultSpec{Seed: 11, CorruptProb: 0.2, DropProb: 0.1,
 				Outages: [][2]int64{{3, 9}, {20, 25}}},
-			Downlink: FaultSpec{Seed: 12, DropProb: 0.4},
-			Outage:   true,
+			Downlink:    FaultSpec{Seed: 12, DropProb: 0.4},
+			Outage:      true,
+			HeartbeatMs: 750,
 		},
 	}
 	got, err := DecodeWelcome(w.Encode())

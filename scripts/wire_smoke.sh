@@ -41,10 +41,14 @@ echo "== leg 1: in-process baseline =="
 "$work/insitu-fleet" "${flags[@]}" >"$work/base.out" 2>/dev/null
 
 # start_nodes ADDR — two agent processes against ADDR; pids land in n0/n1.
+# -reconnect-window 0: these legs want the old one-session semantics
+# (leg 4 relies on the agents dying with their SIGKILLed cloud — a
+# reconnecting node would race the resumed cloud's fresh node set).
+# Churn survival is churn_smoke.sh's job.
 start_nodes() {
-	"$work/insitu-node" -connect "$1" -node-id 0 2>>"$work/nodes.err" &
+	"$work/insitu-node" -connect "$1" -node-id 0 -reconnect-window 0 2>>"$work/nodes.err" &
 	n0=$!
-	"$work/insitu-node" -connect "$1" -node-id 1 2>>"$work/nodes.err" &
+	"$work/insitu-node" -connect "$1" -node-id 1 -reconnect-window 0 2>>"$work/nodes.err" &
 	n1=$!
 	pids+=("$n0" "$n1")
 }
