@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-short bench-smoke bench-kernels bench-kernels-json bench-json bench-diff trace-smoke fault-smoke crash-smoke fleet-smoke health-smoke wire-smoke churn-smoke clean
+.PHONY: check vet build test race race-short bench-smoke bench-kernels bench-kernels-json bench-json bench-diff bench-fleet bench-fleet-diff trace-smoke fault-smoke crash-smoke fleet-smoke health-smoke wire-smoke churn-smoke scale-smoke clean
 
 check: vet build race bench-smoke
 
@@ -54,6 +54,22 @@ bench-diff:
 	$(GO) run ./cmd/insitu-kernelbench -out bench-diff-fresh.json -benchtime 100ms
 	$(GO) run ./cmd/insitu-benchdiff -tolerance 3 BENCH_kernels.json bench-diff-fresh.json
 	rm -f bench-diff-fresh.json
+
+# Regenerate BENCH_fleet.json, the committed record of the fleet-scale
+# sweep (N=1000 across 8 ingestion shards): p99 admission latency, peak
+# heap, and deterministic bytes-per-upload. Takes a few minutes on one
+# core.
+bench-fleet:
+	$(GO) run ./cmd/insitu-fleetbench -out BENCH_fleet.json
+
+# Fleet perf-regression gate: measure fresh and compare against the
+# committed record. Wall-clock (p99 admission) gets a very generous
+# tolerance — it scales with runner speed — while bytes_per_upload is
+# deterministic and gated tight by -bytes-tolerance's default.
+bench-fleet-diff:
+	$(GO) run ./cmd/insitu-fleetbench -out bench-fleet-fresh.json
+	$(GO) run ./cmd/insitu-benchdiff -tolerance 9 BENCH_fleet.json bench-fleet-fresh.json
+	rm -f bench-fleet-fresh.json
 
 # Machine-readable record of the paper-artifact generators.
 bench-json:
@@ -132,11 +148,17 @@ wire-smoke:
 # a lossy proxy) must leave the fleet's stdout byte-identical to an
 # undisturbed run, and a node left dead past its lease must be parked at
 # MinQuorum with the health plane reporting it DISCONNECTED/unhealthy.
-# Artifacts land in churn-smoke-work/ for CI upload.
+# Scratch lives in a tmpdir; CI sets CHURN_SMOKE_WORK to collect it.
 churn-smoke:
 	./scripts/churn_smoke.sh
 
+# Scale proof: a race-built N=1000 fleet across 8 ingestion shards with
+# the scale valves open; the health plane must verdict every node with
+# zero unhealthy. Scratch lives in a tmpdir; CI sets SCALE_SMOKE_WORK.
+scale-smoke:
+	./scripts/scale_smoke.sh
+
 clean:
-	rm -f trace-smoke.jsonl fleet-smoke.jsonl health-smoke.json health-smoke.jsonl bench-diff-fresh.json
+	rm -f trace-smoke.jsonl fleet-smoke.jsonl health-smoke.json health-smoke.jsonl bench-diff-fresh.json bench-fleet-fresh.json
 	rm -rf crash-smoke-node crash-smoke-base.txt crash-smoke-resumed.txt crash-smoke-state churn-smoke-work
 	$(GO) clean ./...

@@ -79,7 +79,7 @@ type benchReport struct {
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id, comma-separated list, or 'all'")
-	scaleName := flag.String("scale", "paper", "learning-experiment scale: small or paper")
+	scaleName := flag.String("scale", "paper", "learning-experiment scale: small, paper or scale (abl-fleet at N=1000, sharded)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	jsonPath := flag.String("json", "", "also write a BENCH json record (wall time and bytes allocated per experiment) to this path")
 	var obsFlags obs.Flags
@@ -95,6 +95,12 @@ func main() {
 		scale = experiments.Small
 		sysScale = experiments.SmallSystem
 		fleetScale = experiments.SmallFleet
+	case "scale":
+		// Only abl-fleet is interesting here; the learning experiments run
+		// at small scale so `-exp all -scale scale` still terminates.
+		scale = experiments.Small
+		sysScale = experiments.SmallSystem
+		fleetScale = experiments.ScaleFleet
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
 		os.Exit(2)

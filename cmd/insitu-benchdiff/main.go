@@ -28,12 +28,20 @@ type rowDiff struct {
 	NewNs     int64
 	Ratio     float64 // NewNs / OldNs
 	Regressed bool
+	// Bytes-per-upload comparison, for fleet rows that carry it in both
+	// documents (deterministic, so gated tighter than wall-clock).
+	OldBytes       float64
+	NewBytes       float64
+	BytesRatio     float64
+	BytesRegressed bool
 }
 
-// compare matches rows across two documents and flags regressions.
-// unmatched counts rows seen in exactly one document. The error is
-// reserved for undecodable rounds.
-func compare(oldDoc, newDoc benchfmt.Doc, tolerance float64) (diffs []rowDiff, unmatched int, err error) {
+// compare matches rows across two documents and flags regressions: a
+// row fails when its wall-clock grew past tolerance, or — for rows
+// carrying bytes_per_upload in both documents — when that grew past
+// bytesTolerance. unmatched counts rows seen in exactly one document.
+// The error is reserved for undecodable rounds.
+func compare(oldDoc, newDoc benchfmt.Doc, tolerance, bytesTolerance float64) (diffs []rowDiff, unmatched int, err error) {
 	index := func(d benchfmt.Doc) (map[string]benchfmt.Row, error) {
 		m := make(map[string]benchfmt.Row)
 		for _, rd := range d.Rounds {
@@ -66,6 +74,11 @@ func compare(oldDoc, newDoc benchfmt.Doc, tolerance float64) (diffs []rowDiff, u
 			d.Ratio = float64(nr.NsPerOp) / float64(or.NsPerOp)
 			d.Regressed = d.Ratio > 1+tolerance
 		}
+		if or.BytesPerUpload > 0 && nr.BytesPerUpload > 0 {
+			d.OldBytes, d.NewBytes = or.BytesPerUpload, nr.BytesPerUpload
+			d.BytesRatio = nr.BytesPerUpload / or.BytesPerUpload
+			d.BytesRegressed = d.BytesRatio > 1+bytesTolerance
+		}
 		diffs = append(diffs, d)
 	}
 	for key := range oldRows {
@@ -79,6 +92,8 @@ func compare(oldDoc, newDoc benchfmt.Doc, tolerance float64) (diffs []rowDiff, u
 
 func main() {
 	tolerance := flag.Float64("tolerance", 0.5, "allowed slowdown fraction (0.5 = fail past 1.5x)")
+	bytesTolerance := flag.Float64("bytes-tolerance", 0.1,
+		"allowed bytes_per_upload growth fraction for fleet rows carrying it (deterministic, so tight)")
 	quiet := flag.Bool("q", false, "only print regressions")
 	flag.Parse()
 	if flag.NArg() != 2 || *tolerance < 0 {
@@ -93,7 +108,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	diffs, unmatched, err := compare(oldDoc, newDoc, *tolerance)
+	diffs, unmatched, err := compare(oldDoc, newDoc, *tolerance, *bytesTolerance)
 	if err != nil {
 		fatal(err)
 	}
@@ -102,7 +117,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	tab := metrics.NewTable("kernel benchmarks: old vs new", "row", "old ns/op", "new ns/op", "ratio", "verdict")
+	tab := metrics.NewTable("benchmarks: old vs new", "row", "old ns/op", "new ns/op", "ratio", "B/upload", "verdict")
 	regressions := 0
 	for _, d := range diffs {
 		verdict := "ok"
@@ -110,12 +125,20 @@ func main() {
 			verdict = "REGRESSION"
 			regressions++
 		}
-		if *quiet && !d.Regressed {
+		if d.BytesRegressed {
+			verdict = "BYTES REGRESSION"
+			regressions++
+		}
+		if *quiet && !d.Regressed && !d.BytesRegressed {
 			continue
+		}
+		bytesCol := "-"
+		if d.BytesRatio > 0 {
+			bytesCol = fmt.Sprintf("%.2fx", d.BytesRatio)
 		}
 		tab.AddRow(d.Key,
 			fmt.Sprintf("%d", d.OldNs), fmt.Sprintf("%d", d.NewNs),
-			fmt.Sprintf("%.2fx", d.Ratio), verdict)
+			fmt.Sprintf("%.2fx", d.Ratio), bytesCol, verdict)
 	}
 	fmt.Print(tab.String())
 	fmt.Printf("%d rows compared, %d unmatched, tolerance %.0f%%, %d regression(s)\n",

@@ -31,7 +31,7 @@ func TestCompareFlagsTwoTimesSlowdown(t *testing.T) {
 		{Exp: "MatMul/512x512x512", GoMaxProcs: 1, NsPerOp: 8800}, // 1.1x: within tolerance
 	})
 
-	diffs, unmatched, err := compare(old, slow, 0.5)
+	diffs, unmatched, err := compare(old, slow, 0.5, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestCompareFlagsTwoTimesSlowdown(t *testing.T) {
 		t.Errorf("1.1x row flagged at 50%% tolerance: %+v", diffs[1])
 	}
 
-	clean, _, err := compare(old, old, 0.5)
+	clean, _, err := compare(old, old, 0.5, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestCompareKeying(t *testing.T) {
 		{Exp: "MatMul/256x256x256", GoMaxProcs: 1, NsPerOp: 1000},
 		{Exp: "MatMul/256x256x256", GoMaxProcs: 8, NsPerOp: 300}, // new setting
 	})
-	diffs, unmatched, err := compare(old, neu, 0.5)
+	diffs, unmatched, err := compare(old, neu, 0.5, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestCompareKeying(t *testing.T) {
 func TestCompareNoOverlap(t *testing.T) {
 	a := docWith(t, []benchfmt.Row{{Exp: "A", NsPerOp: 1}})
 	b := docWith(t, []benchfmt.Row{{Exp: "B", NsPerOp: 1}})
-	diffs, unmatched, err := compare(a, b, 0.5)
+	diffs, unmatched, err := compare(a, b, 0.5, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,53 @@ func TestCompareNoOverlap(t *testing.T) {
 // A corrupt round must surface as an error, not a silent pass.
 func TestCompareBadRound(t *testing.T) {
 	bad := benchfmt.Doc{Rounds: []benchfmt.Round{{Name: "x", Results: json.RawMessage(`{"not":"rows"}`)}}}
-	if _, _, err := compare(bad, bad, 0.5); err == nil {
+	if _, _, err := compare(bad, bad, 0.5, 0.1); err == nil {
 		t.Fatal("corrupt round compared cleanly")
+	}
+}
+
+// Fleet rows carrying bytes_per_upload are gated on it separately and
+// tighter than wall-clock: a 20% bytes growth fails at the default 10%
+// even when the timing is fine, and rows missing the field on either
+// side are never bytes-gated.
+func TestCompareBytesPerUploadGate(t *testing.T) {
+	old := docWith(t, []benchfmt.Row{
+		{Exp: "fleet/N=1000/S=8", NsPerOp: 1000, BytesPerUpload: 5000},
+		{Exp: "MatMul/256x256x256", NsPerOp: 1000}, // kernel row: no bytes field
+	})
+	neu := docWith(t, []benchfmt.Row{
+		{Exp: "fleet/N=1000/S=8", NsPerOp: 1100, BytesPerUpload: 6000}, // 1.2x bytes
+		{Exp: "MatMul/256x256x256", NsPerOp: 1100},
+	})
+	diffs, _, err := compare(old, neu, 0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fleetRow, kernelRow *rowDiff
+	for i := range diffs {
+		if diffs[i].OldBytes > 0 {
+			fleetRow = &diffs[i]
+		} else {
+			kernelRow = &diffs[i]
+		}
+	}
+	if fleetRow == nil || kernelRow == nil {
+		t.Fatalf("diffs = %+v", diffs)
+	}
+	if !fleetRow.BytesRegressed || fleetRow.Regressed {
+		t.Errorf("fleet row: bytes 1.2x should regress, timing 1.1x should not: %+v", fleetRow)
+	}
+	if kernelRow.BytesRegressed || kernelRow.BytesRatio != 0 {
+		t.Errorf("kernel row picked up a bytes verdict: %+v", kernelRow)
+	}
+
+	clean, _, err := compare(old, old, 0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range clean {
+		if d.BytesRegressed {
+			t.Errorf("identical docs produced a bytes regression: %+v", d)
+		}
 	}
 }

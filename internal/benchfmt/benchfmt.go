@@ -24,6 +24,10 @@ type Row struct {
 	// same shape, so speedup = float32_ns / ns.
 	Float32NsPerOp int64   `json:"float32_ns_per_op,omitempty"`
 	Speedup        float64 `json:"speedup,omitempty"`
+	// BytesPerUpload is set on fleet-scale rows: mean metered uplink
+	// bytes per successfully uploaded sample. Deterministic for a given
+	// config, so the perf gate holds it to a tight tolerance.
+	BytesPerUpload float64 `json:"bytes_per_upload,omitempty"`
 }
 
 // Round is one named block of results. Results stays raw so unknown

@@ -135,6 +135,7 @@ func nodeConfigFromWire(w wire.NodeConfig) Config {
 		DeployRetries:  int(w.DeployRetries),
 		UplinkFaults:   faultSpecFromWire(w.Uplink),
 		DownlinkFaults: faultSpecFromWire(w.Downlink),
+		EvalSamples:    int(w.EvalSamples),
 	}
 }
 

@@ -1,0 +1,172 @@
+package fleet
+
+import (
+	"errors"
+	"time"
+)
+
+// The ingestion batcher: every node response — whatever transport it
+// arrived on — is submitted here, coalesced into a batch, and handed to
+// the server's collect loop as one slice. This is the classic
+// write-batcher shape: a bounded input channel for backpressure, a
+// flush when the batch fills (batchSize) or ages out (maxWait), and a
+// per-item result fanback so each submitter learns when its message was
+// accepted. At N=16 this is indistinguishable from the old per-message
+// results queue; at N=10k it turns ten thousand channel handoffs per
+// phase into a few hundred, and gives the server one tight loop per
+// batch instead of one select per message.
+//
+// Determinism: batch boundaries depend on scheduling and wall-clock, so
+// nothing downstream may depend on them — and nothing does. The collect
+// loop flattens batches back into per-node messages keyed by node id,
+// and admission runs in node-id order over the complete round, so
+// RoundReports are byte-identical for every (batchSize, maxWait)
+// setting, including the degenerate size-1 batches of maxWait 0.
+
+// errBatcherClosed answers submissions that cannot be delivered because
+// the fleet is shutting down. Round accounting never sees these
+// messages; Close requires a quiesced fleet, so only stale straggler
+// leftovers can hit it.
+var errBatcherClosed = errors.New("fleet: ingestion batcher closed")
+
+// defaultBatchSize bounds a batch when Config.BatchSize is zero. Small
+// enough that the deadline valve rarely matters at small N, large
+// enough that a 10k-node phase moves in hundreds of handoffs.
+const defaultBatchSize = 64
+
+// batchItem is one submitted message plus its fanback channel.
+type batchItem struct {
+	msg roundMsg
+	// done receives exactly one result: nil when the message was flushed
+	// to the consumer, errBatcherClosed when the batcher shut down first.
+	done chan error
+}
+
+// batcher coalesces roundMsgs into bounded batches.
+type batcher struct {
+	in   chan batchItem
+	out  chan []roundMsg
+	size int
+	wait time.Duration
+	quit chan struct{}
+	done chan struct{} // run exited; all pending items answered
+}
+
+// newBatcher sizes the batcher from the fleet config: depth bounds the
+// input queue (the old results-queue backpressure bound), size the batch
+// (0 = defaultBatchSize) and wait the flush deadline (0 = flush as soon
+// as the consumer can take the pending batch).
+func newBatcher(depth, size int, wait time.Duration) *batcher {
+	if depth < 1 {
+		depth = 1
+	}
+	if size < 1 {
+		size = defaultBatchSize
+	}
+	outDepth := depth / size
+	if outDepth < 1 {
+		outDepth = 1
+	}
+	b := &batcher{
+		in:   make(chan batchItem, depth),
+		out:  make(chan []roundMsg, outDepth),
+		size: size,
+		wait: wait,
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// submit hands one message in and blocks until it is flushed (nil) or
+// the batcher shuts down (errBatcherClosed). Workers block here exactly
+// as they used to block on the bounded results channel.
+func (b *batcher) submit(msg roundMsg) error {
+	it := batchItem{msg: msg, done: make(chan error, 1)}
+	select {
+	case b.in <- it:
+	case <-b.quit:
+		return errBatcherClosed
+	}
+	select {
+	case err := <-it.done:
+		return err
+	case <-b.quit:
+		return errBatcherClosed
+	}
+}
+
+// stop aborts the batcher: pending and late submissions are answered
+// with errBatcherClosed. Blocks until the run loop has drained.
+func (b *batcher) stop() {
+	close(b.quit)
+	<-b.done
+}
+
+// run is the flush loop. A batch becomes eligible when it is full, when
+// the deadline timer has fired, or immediately when wait is zero; an
+// eligible batch is offered to out while further arrivals keep
+// accumulating (up to size). The timer is armed when the first item of
+// a batch lands, so maxWait bounds the oldest item's queueing delay.
+func (b *batcher) run() {
+	defer close(b.done)
+	var (
+		pending []batchItem
+		timer   *time.Timer
+		timeC   <-chan time.Time
+		expired bool
+	)
+	disarm := func() {
+		if timer != nil {
+			timer.Stop()
+		}
+		timeC = nil
+		expired = false
+	}
+	for {
+		in := b.in
+		if len(pending) >= b.size {
+			in = nil // batch full: stop accumulating, force the flush path
+		}
+		var out chan []roundMsg
+		var batch []roundMsg
+		if len(pending) > 0 && (len(pending) >= b.size || b.wait <= 0 || expired) {
+			out = b.out
+			batch = make([]roundMsg, len(pending))
+			for i, it := range pending {
+				batch[i] = it.msg
+			}
+		}
+		select {
+		case it := <-in:
+			pending = append(pending, it)
+			if len(pending) == 1 && b.wait > 0 {
+				if timer == nil {
+					timer = time.NewTimer(b.wait)
+				} else {
+					timer.Reset(b.wait)
+				}
+				timeC = timer.C
+				expired = false
+			}
+			countBatchDepth(len(pending))
+		case out <- batch:
+			for _, it := range pending {
+				it.done <- nil
+			}
+			countBatchFlush(len(pending))
+			pending = pending[:0]
+			disarm()
+		case <-timeC:
+			expired = true
+			timeC = nil
+		case <-b.quit:
+			for _, it := range pending {
+				it.done <- errBatcherClosed
+			}
+			disarm()
+			return
+		}
+	}
+}

@@ -28,7 +28,10 @@ import (
 // checkpointing: an abandoned straggler could still be running.
 
 const (
-	ckptMagic    = "ISFL0001"
+	// ckptMagic 0002: fingerprint grew MaxCalibSamples and EvalSamples
+	// (both behavior-affecting); the magic bump rejects 0001 blobs with a
+	// clear error instead of a garbled fingerprint mismatch.
+	ckptMagic    = "ISFL0002"
 	historyMagic = "ISFH0001"
 	// telemetryMagic frames the registry snapshot that rides between the
 	// history and the fleet state, so windowed percentile state survives
@@ -41,11 +44,16 @@ const (
 var ErrConfigMismatch = errors.New("fleet: checkpoint config mismatch")
 
 // fingerprint lists the identity-defining configuration as u64s.
+// Behavior-affecting knobs only: Shards, BatchSize, BatchWait and
+// MaxLiveNodes are deliberately absent, because reports are
+// byte-identical across their settings — a checkpoint taken at shards=1
+// must resume at shards=16.
 func (f *Fleet) fingerprint() []uint64 {
 	return []uint64{
 		uint64(f.Cfg.Kind), uint64(f.Cfg.Classes), uint64(f.Cfg.PermClasses),
 		uint64(f.Cfg.SharedConvs), uint64(f.Cfg.Probes), f.Cfg.Seed,
 		uint64(f.Cfg.Nodes), uint64(f.Cfg.MaxRoundSamples),
+		uint64(f.Cfg.MaxCalibSamples), uint64(f.Cfg.EvalSamples),
 	}
 }
 

@@ -22,6 +22,8 @@ package fleet
 import (
 	"fmt"
 	"net"
+	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -79,11 +81,50 @@ type Config struct {
 	// samples). Workers block when it is full — backpressure, not loss.
 	// 0 means Nodes.
 	QueueDepth int
+	// Shards partitions the in-process fleet's nodes across this many
+	// independent ingestion shards (shardOf: id mod Shards), each with
+	// its own bounded queue and worker goroutine. 0 means one shard per
+	// node — the legacy topology, where no node can head-of-line-block
+	// another. Fewer shards than nodes trades that isolation for O(S)
+	// goroutines and hot state. Reports are byte-identical for every
+	// value. Ignored by wire fleets (their workers are processes).
+	Shards int
+	// BatchSize is how many node responses the ingestion batcher
+	// coalesces per flush to the server's collect loop. 0 means a
+	// default of 64. Purely a throughput valve: batch boundaries never
+	// reach the protocol, so reports are byte-identical for every value.
+	BatchSize int
+	// BatchWait bounds how long a partial batch may age before it is
+	// flushed anyway. 0 flushes as soon as the collect loop can take the
+	// pending batch — the right default for round-synchronous phases,
+	// where the last response of a phase must never wait out a timer.
+	BatchWait time.Duration
+	// MaxLiveNodes caps how many node states the in-process fleet keeps
+	// hydrated in memory, split evenly across shards (minimum one per
+	// shard); the least-recently-used remainder spills to SpillDir via
+	// the checkpoint framing and restores bit-identically on demand.
+	// 0 keeps every node resident — fine to N≈1k, not to 10k+.
+	MaxLiveNodes int
+	// SpillDir is where cold node state spills when MaxLiveNodes is
+	// set. Empty means a fresh temp dir owned (and removed) by the
+	// fleet. The dir is scratch, not durable state: checkpoints remain
+	// the only crash-safe artifact.
+	SpillDir string
 	// MaxRoundSamples caps how many uploaded samples the server admits
 	// into one round's retrain and replay pool, applied in node-id
 	// order. 0 = unlimited. The cap is what keeps the server's
 	// serialized retrain cost bounded as N grows.
 	MaxRoundSamples int
+	// MaxCalibSamples likewise caps the pooled calibration set the
+	// server recalibrates its diagnosis threshold on, in node-id order.
+	// 0 = unlimited — at N=10k that pools ~10k·12 samples a round, so
+	// scale configs should cap it.
+	MaxCalibSamples int
+	// EvalSamples is how many images each node evaluates its deployed
+	// model on after a deploy (the NodeAccuracy column). 0 = the
+	// paper-faithful 120; scale runs shrink it, because N·120 forward
+	// passes per round is the fleet's single largest compute term.
+	EvalSamples int
 	// RoundTimeout, when positive, lets a round complete without the
 	// nodes that have not answered in time (their round entries are
 	// marked TimedOut). It is a straggler safety valve: leaving it 0
@@ -204,10 +245,22 @@ type Fleet struct {
 	cloudVersion uint32
 	round        int
 
-	peers   []peer
-	results chan roundMsg
-	wall    float64
-	closed  bool
+	peers []peer
+	// ingest coalesces every node response (local shard workers and
+	// remote peers alike) into batches for the collect loop.
+	ingest *batcher
+	// shards are the in-process ingestion partitions (nil for wire
+	// fleets); spillDir holds their cold node state when
+	// Config.MaxLiveNodes is set, removed on Close when ownSpill.
+	shards   []*shard
+	spillDir string
+	ownSpill bool
+	// admitLats accumulates every collected response's wall-clock
+	// admission latency (seconds) across rounds — the p99 source for the
+	// scale benchmarks. Wall-clock, so never part of a RoundReport.
+	admitLats []float64
+	wall      float64
+	closed    bool
 	// remote is set for fleets built by Listen: peers speak the wire
 	// protocol, so deploy bundles are frame-encoded once per round.
 	remote bool
@@ -248,9 +301,15 @@ func newServer(cfg Config) *Fleet {
 	if depth <= 0 {
 		depth = cfg.Nodes
 	}
-	f.results = make(chan roundMsg, depth)
+	f.ingest = newBatcher(depth, cfg.BatchSize, cfg.BatchWait)
 	return f
 }
+
+// submit routes one node response into the ingestion batcher, blocking
+// (backpressure) until the collect loop takes its batch. The only error
+// is a shutdown race on stale straggler leftovers, which the caller
+// drops — round accounting has already moved on.
+func (f *Fleet) submit(msg roundMsg) error { return f.ingest.submit(msg) }
 
 // outageSet expands Config.OutageNodes into a lookup.
 func (f *Fleet) outageSet() map[int]bool {
@@ -261,13 +320,49 @@ func (f *Fleet) outageSet() map[int]bool {
 	return outage
 }
 
-// New constructs an in-process fleet and starts its (idle) node workers;
-// call Bootstrap before RunRound, and Close when done with the fleet.
+// New constructs an in-process fleet and starts its (idle) shard
+// workers; call Bootstrap before RunRound, and Close when done with the
+// fleet. Node states hydrate lazily inside their shard, so constructing
+// a 10k-node fleet is cheap until commands flow.
 func New(cfg Config) *Fleet {
 	f := newServer(cfg)
+	nshards := cfg.Shards
+	if nshards <= 0 || nshards > cfg.Nodes {
+		nshards = cfg.Nodes
+	}
+	if cfg.MaxLiveNodes > 0 {
+		if cfg.SpillDir != "" {
+			if err := os.MkdirAll(cfg.SpillDir, 0o755); err != nil {
+				panic(fmt.Sprintf("fleet: spill dir: %v", err))
+			}
+			f.spillDir = cfg.SpillDir
+		} else {
+			dir, err := os.MkdirTemp("", "insitu-spill-")
+			if err != nil {
+				panic(fmt.Sprintf("fleet: spill dir: %v", err))
+			}
+			f.spillDir = dir
+			f.ownSpill = true
+		}
+	}
+	f.shards = make([]*shard, nshards)
+	for s := range f.shards {
+		members := cfg.Nodes / nshards
+		if s < cfg.Nodes%nshards {
+			members++
+		}
+		maxLive := 0
+		if cfg.MaxLiveNodes > 0 {
+			maxLive = (cfg.MaxLiveNodes + nshards - 1) / nshards
+			if maxLive < 1 {
+				maxLive = 1
+			}
+		}
+		f.shards[s] = newShard(f, s, members, maxLive)
+	}
 	f.peers = make([]peer, cfg.Nodes)
 	for i := range f.peers {
-		f.peers[i] = newLocalPeer(f, newFleetNode(cfg, i, f.outage[i], f.permSet))
+		f.peers[i] = &shardPeer{s: f.shards[shardOf(i, nshards)], nodeID: i}
 	}
 	return f
 }
@@ -289,10 +384,16 @@ func (f *Fleet) Close() {
 		ln.Close()
 		<-lnDone
 	}
+	// Stop the batcher before the workers: a stale straggler blocked in
+	// submit must unblock (with an error) for its shard to drain.
+	f.ingest.stop()
 	for _, p := range peers {
 		if p != nil { // Listen may abort with slots never filled
 			p.shutdown()
 		}
+	}
+	if f.ownSpill {
+		os.RemoveAll(f.spillDir)
 	}
 }
 
@@ -425,13 +526,18 @@ func (f *Fleet) broadcast(cmd workerCmd, parked map[int]bool) map[int]bool {
 }
 
 // collect gathers the expected responses of the given kind/round from
-// the shared results queue, discarding stale leftovers from timed-out
-// phases. Returns per-node-id messages plus each node's wall-clock
-// arrival latency since start (the health plane's admission-latency
-// signal; latencies never enter RoundReports). Missing ids timed out
-// or, under lease expiry, were parked mid-collect (recorded in
-// parked, removed from expected).
-func (f *Fleet) collect(kind cmdKind, round int, expected map[int]bool, start time.Time, parked map[int]bool) (map[int]roundMsg, map[int]float64) {
+// the ingestion batcher, discarding stale leftovers from timed-out
+// phases. Responses arrive coalesced — one batch per receive — and are
+// flattened back into per-node messages here, so batch boundaries never
+// reach the protocol. Returns per-node-id messages plus each node's
+// wall-clock arrival latency since start (the health plane's
+// admission-latency signal; latencies never enter RoundReports).
+// Missing ids timed out or, under lease expiry, were parked mid-collect
+// (recorded in parked, removed from expected). each, when non-nil, is
+// called once per accepted message as it arrives — the hook the upload
+// path uses to trim over-cap samples incrementally instead of holding a
+// whole fleet's uploads until admission.
+func (f *Fleet) collect(kind cmdKind, round int, expected map[int]bool, start time.Time, parked map[int]bool, each func(roundMsg)) (map[int]roundMsg, map[int]float64) {
 	got := make(map[int]roundMsg, len(expected))
 	lats := make(map[int]float64, len(expected))
 	var timeout <-chan time.Time
@@ -455,13 +561,20 @@ func (f *Fleet) collect(kind cmdKind, round int, expected map[int]bool, start ti
 	}
 	for len(got) < len(expected) {
 		select {
-		case m := <-f.results:
-			if m.kind != kind || m.round != round || !expected[m.node] {
-				countStaleDiscard()
-				continue
+		case batch := <-f.ingest.out:
+			for _, m := range batch {
+				if _, dup := got[m.node]; dup || m.kind != kind || m.round != round || !expected[m.node] {
+					countStaleDiscard()
+					continue
+				}
+				got[m.node] = m
+				lat := time.Since(start).Seconds()
+				lats[m.node] = lat
+				f.admitLats = append(f.admitLats, lat)
+				if each != nil {
+					each(m)
+				}
 			}
-			got[m.node] = m
-			lats[m.node] = time.Since(start).Seconds()
 		case <-timeout:
 			return got, lats
 		case <-leaseTick:
@@ -473,17 +586,83 @@ func (f *Fleet) collect(kind cmdKind, round int, expected map[int]bool, start ti
 	return got, lats
 }
 
+// AdmitLatencyP99 returns the p99 of every wall-clock admission latency
+// collected so far, in seconds — the scale benchmark's headline column.
+// Wall-clock, so it varies run to run and never enters a RoundReport.
+func (f *Fleet) AdmitLatencyP99() float64 {
+	if len(f.admitLats) == 0 {
+		return 0
+	}
+	lats := append([]float64(nil), f.admitLats...)
+	sort.Float64s(lats)
+	idx := (len(lats)*99 + 99) / 100
+	if idx > len(lats) {
+		idx = len(lats)
+	}
+	return lats[idx-1]
+}
+
+// trimEvery is how many upload arrivals pass between incremental
+// over-cap trims during collect. Between trims the pool can overshoot
+// the caps by at most trimEvery uploads' worth of samples (~21 MB at
+// the default round sizes) — the bounded price of not re-scanning the
+// whole fleet per arrival.
+const trimEvery = 128
+
 // collectUploads normalizes the capture phase into a dense per-node
 // slice (nil = timed out or parked), restoring node-id order so every
-// later step is deterministic regardless of goroutine scheduling.
+// later step is deterministic regardless of goroutine scheduling. While
+// responses stream in it incrementally trims each node's samples to the
+// most the admission caps could ever grant it, so the server's resident
+// upload pool is O(cap), not O(N), by the time admit runs.
 func (f *Fleet) collectUploads(round int, expected map[int]bool, start time.Time, parked map[int]bool) ([]*uploadData, map[int]float64) {
-	msgs, lats := f.collect(cmdCapture, round, expected, start, parked)
 	ups := make([]*uploadData, len(f.peers))
-	for id, m := range msgs {
+	arrivals := 0
+	_, lats := f.collect(cmdCapture, round, expected, start, parked, func(m roundMsg) {
 		up := m.up
-		ups[id] = &up
-	}
+		ups[m.node] = &up
+		if arrivals++; arrivals%trimEvery == 0 {
+			f.trimPending(ups)
+		}
+	})
 	return ups, lats
+}
+
+// trimPending shrinks pending uploads to upper bounds on what admission
+// can still grant them. Admission is greedy in node-id order, so a
+// node's final take only shrinks as lower-id uploads arrive — the take
+// computed over the arrivals so far is a safe bound, and trimming to it
+// cannot change admit's output. Trimmed slices are copied so the freed
+// tail tensors are actually collectable (a re-slice would pin the whole
+// backing array).
+func (f *Fleet) trimPending(ups []*uploadData) {
+	remSamples := f.Cfg.MaxRoundSamples
+	remCalib := f.Cfg.MaxCalibSamples
+	for _, up := range ups {
+		if up == nil {
+			continue
+		}
+		if up.failed {
+			up.samples, up.calib = nil, nil
+			continue
+		}
+		if f.Cfg.MaxRoundSamples > 0 {
+			take := len(up.samples)
+			if take > remSamples {
+				take = remSamples
+				up.samples = append([]dataset.Sample(nil), up.samples[:take]...)
+			}
+			remSamples -= take
+		}
+		if f.Cfg.MaxCalibSamples > 0 {
+			take := len(up.calib)
+			if take > remCalib {
+				take = remCalib
+				up.calib = append([]dataset.Sample(nil), up.calib[:take]...)
+			}
+			remCalib -= take
+		}
+	}
 }
 
 // admit applies the per-round admission cap in node-id order, pools the
@@ -494,6 +673,8 @@ func (f *Fleet) admit(ups []*uploadData) (admitted []int, trainSet, calibs []dat
 	admitted = make([]int, len(ups))
 	unlimited := f.Cfg.MaxRoundSamples <= 0
 	remaining := f.Cfg.MaxRoundSamples
+	calibUnlimited := f.Cfg.MaxCalibSamples <= 0
+	calibRemaining := f.Cfg.MaxCalibSamples
 	for id, up := range ups {
 		if up == nil || up.failed {
 			continue
@@ -507,7 +688,14 @@ func (f *Fleet) admit(ups []*uploadData) (admitted []int, trainSet, calibs []dat
 		}
 		admitted[id] = take
 		trainSet = append(trainSet, up.samples[:take]...)
-		calibs = append(calibs, up.calib...)
+		ctake := len(up.calib)
+		if !calibUnlimited {
+			if ctake > calibRemaining {
+				ctake = calibRemaining
+			}
+			calibRemaining -= ctake
+		}
+		calibs = append(calibs, up.calib[:ctake]...)
 	}
 	f.cloudData = append(f.cloudData, trainSet...)
 	return admitted, trainSet, calibs
@@ -532,7 +720,7 @@ func (f *Fleet) deployRound(round int, ups []*uploadData, admitted []int, traine
 		}
 	}
 	expected := f.broadcast(cmd, parked)
-	deps, _ := f.collect(cmdDeploy, round, expected, time.Now(), parked)
+	deps, _ := f.collect(cmdDeploy, round, expected, time.Now(), parked, nil)
 
 	rep := RoundReport{
 		Round:        round,

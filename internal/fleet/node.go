@@ -241,7 +241,11 @@ func (n *fleetNode) deploy(cmd workerCmd) roundMsg {
 		Diag:      n.diag,
 	})
 	n.version = res.Version
-	eval := n.gen.MixedSet(120, n.cfg.InSituFrac, n.cfg.Severity)
+	evalN := n.cfg.EvalSamples
+	if evalN <= 0 {
+		evalN = 120 // the paper-faithful post-deploy evaluation size
+	}
+	eval := n.gen.MixedSet(evalN, n.cfg.InSituFrac, n.cfg.Severity)
 	acc := train.Evaluate(n.infer, eval)
 	return roundMsg{
 		node: n.id, round: cmd.round, kind: cmdDeploy,

@@ -8,10 +8,11 @@ var errPeerGone = errors.New("fleet: peer connection lost")
 
 // The peer seam: the Fleet server drives every node through this narrow
 // interface, so the round protocol (broadcast → collect → admit →
-// retrain → deploy) is identical whether a node is a goroutine in this
-// process (localPeer) or an insitu-node process across a socket
-// (remotePeer, remote.go). Responses always arrive on the fleet's shared
-// bounded results queue; state commands answer on cmd.reply.
+// retrain → deploy) is identical whether a node lives inside an
+// in-process ingestion shard (shardPeer, shard.go) or is an insitu-node
+// process across a socket (remotePeer, remote.go). Responses always
+// arrive through the fleet's shared ingestion batcher; state commands
+// answer on cmd.reply.
 type peer interface {
 	// id is the node id this peer serves.
 	id() int
@@ -23,53 +24,6 @@ type peer interface {
 	// shutdown stops the peer; no further commands may be enqueued.
 	shutdown()
 }
-
-// localPeer runs a fleetNode on its own goroutine in this process — the
-// original in-process deployment shape.
-type localPeer struct {
-	n *fleetNode
-	f *Fleet
-	// cmds capacity 4 covers the worst in-flight case (a stalled worker
-	// under RoundTimeout accumulating capture+deploy commands from two
-	// rounds) so broadcast never blocks on a straggler.
-	cmds chan workerCmd
-}
-
-func newLocalPeer(f *Fleet, n *fleetNode) *localPeer {
-	p := &localPeer{n: n, f: f, cmds: make(chan workerCmd, 4)}
-	go p.run()
-	return p
-}
-
-// run is the node's worker goroutine: execute each command, always
-// answer. The results queue is bounded (Config.QueueDepth), so a worker
-// blocks there — backpressure — until the server drains; the server
-// always collects every expected response per phase, so this cannot
-// deadlock.
-func (p *localPeer) run() {
-	for cmd := range p.cmds {
-		if msg, ok := p.n.handle(cmd, p.f.stall); ok {
-			p.f.results <- msg
-		}
-	}
-}
-
-func (p *localPeer) id() int { return p.n.id }
-
-func (p *localPeer) enqueue(cmd workerCmd, block bool) bool {
-	if !block {
-		select {
-		case p.cmds <- cmd:
-			return true
-		default:
-			return false
-		}
-	}
-	p.cmds <- cmd
-	return true
-}
-
-func (p *localPeer) shutdown() { close(p.cmds) }
 
 // peerState round-trips one state command through a peer and waits for
 // the answer. Only call between rounds (the peer is idle).

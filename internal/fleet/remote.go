@@ -74,6 +74,7 @@ func (f *Fleet) nodeConfigToWire(outage bool) wire.NodeConfig {
 		Downlink:          faultSpecToWire(cfg.DownlinkFaults),
 		Outage:            outage,
 		HeartbeatMs:       heartbeatMs(cfg.Lease),
+		EvalSamples:       uint32(cfg.EvalSamples),
 	}
 }
 
@@ -526,7 +527,7 @@ func (p *remotePeer) exchange(cmd workerCmd) {
 			p.dropCurrent()
 			return
 		}
-		p.f.results <- roundMsg{
+		_ = p.f.submit(roundMsg{
 			node: p.nodeID, round: cmd.round, kind: cmdCapture,
 			up: uploadData{
 				captured: int(u.Captured),
@@ -544,14 +545,14 @@ func (p *remotePeer) exchange(cmd workerCmd) {
 					Precision:      u.QualityPrecision,
 				},
 			},
-		}
+		})
 	case cmdDeploy:
 		r, derr := wire.DecodeDeployResult(payload)
 		if derr != nil {
 			p.dropCurrent()
 			return
 		}
-		p.f.results <- roundMsg{
+		_ = p.f.submit(roundMsg{
 			node: p.nodeID, round: cmd.round, kind: cmdDeploy,
 			dep: deployData{
 				res: deploy.Result{
@@ -565,7 +566,7 @@ func (p *remotePeer) exchange(cmd workerCmd) {
 				version:  r.NodeVersion,
 				accuracy: r.Accuracy,
 			},
-		}
+		})
 	case cmdStateSave:
 		_, data, derr := wire.DecodeStateBlob(payload)
 		cmd.reply <- stateReply{data: data, err: derr}

@@ -39,6 +39,13 @@ type Options struct {
 	UplinkFaultRate float64
 	QueueDepth      int
 	MaxRoundSamples int
+	MaxCalibSamples int
+	Shards          int
+	BatchSize       int
+	BatchWait       time.Duration
+	MaxLiveNodes    int
+	SpillDir        string
+	EvalSamples     int
 	KillAfter       int
 	RoundTimeout    time.Duration
 	Lease           time.Duration
@@ -67,6 +74,25 @@ func (o *Options) AddFlags(fs *flag.FlagSet) {
 		"per-transfer probability an upload batch is lost (half corruption, half drops)")
 	fs.IntVar(&o.QueueDepth, "queue-depth", 0, "server ingestion queue bound in messages (0 = N)")
 	fs.IntVar(&o.MaxRoundSamples, "max-round-samples", 0, "per-round retrain admission cap in samples (0 = unlimited)")
+	fs.IntVar(&o.MaxCalibSamples, "max-calib-samples", 0, "per-round pooled calibration cap in samples (0 = unlimited)")
+	// The three ingestion valves interact: -shards bounds WHO can make
+	// progress concurrently (S worker goroutines instead of N; a shard's
+	// nodes execute serially), -batch-size bounds how many of their
+	// responses coalesce into one server handoff, and -batch-wait bounds
+	// how long a partial batch may age before flushing anyway. Turning
+	// any of them changes throughput and memory, never results: reports
+	// are byte-identical for every combination.
+	fs.IntVar(&o.Shards, "shards", 0,
+		"in-process only: ingestion shards, each one worker owning N/S nodes (0 = one per node)")
+	fs.IntVar(&o.BatchSize, "batch-size", 0, "node responses coalesced per ingestion batch (0 = 64)")
+	fs.DurationVar(&o.BatchWait, "batch-wait", 0,
+		"max age of a partial ingestion batch before it flushes anyway (0 = flush when the server is ready)")
+	fs.IntVar(&o.MaxLiveNodes, "max-live-nodes", 0,
+		"in-process only: node states kept hydrated; the LRU remainder spills to disk (0 = all resident)")
+	fs.StringVar(&o.SpillDir, "spill-dir", "",
+		"where cold node state spills under -max-live-nodes (default: a temp dir removed on exit)")
+	fs.IntVar(&o.EvalSamples, "eval-samples", 0,
+		"per-node post-deploy evaluation images per round (0 = the paper-faithful 120; scale runs shrink it)")
 	fs.IntVar(&o.KillAfter, "kill-after-round", -1,
 		"SIGKILL the process right after this round's checkpoint lands (crash-injection; needs -state-dir)")
 	// The three stall valves interact: RoundTimeout abandons a CONNECTED
@@ -168,6 +194,13 @@ func (o *Options) Run(name string, build func(fleet.Config) (*fleet.Fleet, error
 	cfg.OutageNodes = ParseInts(o.OutageNodes, "outage node id")
 	cfg.QueueDepth = o.QueueDepth
 	cfg.MaxRoundSamples = o.MaxRoundSamples
+	cfg.MaxCalibSamples = o.MaxCalibSamples
+	cfg.Shards = o.Shards
+	cfg.BatchSize = o.BatchSize
+	cfg.BatchWait = o.BatchWait
+	cfg.MaxLiveNodes = o.MaxLiveNodes
+	cfg.SpillDir = o.SpillDir
+	cfg.EvalSamples = o.EvalSamples
 	cfg.Trace = session.Tracer
 	cfg.Health = tracker
 

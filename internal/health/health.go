@@ -269,6 +269,18 @@ type NodeStatus struct {
 // VerdictValue returns the typed verdict behind the JSON string.
 func (s NodeStatus) VerdictValue() Verdict { return s.verdict }
 
+// IngestStatus is the cloud ingestion path's view: per-shard command
+// queue depths plus the batcher's pending occupancy, sampled at each
+// round boundary. Sharded fleets use it to spot a hot shard (one deep
+// queue among shallow ones) without per-node inspection.
+type IngestStatus struct {
+	// Shards holds one queue depth per ingestion shard, indexed by shard.
+	Shards []int `json:"shard_queue_depths"`
+	// BatchOccupancy is how many messages sat unflushed in the upload
+	// batcher at the sample point (round boundaries: normally 0).
+	BatchOccupancy int `json:"batch_occupancy"`
+}
+
 // FleetStatus is the JSON document served at /fleetz.
 type FleetStatus struct {
 	Nodes     []NodeStatus `json:"nodes"`
@@ -277,6 +289,9 @@ type FleetStatus struct {
 	Unhealthy int          `json:"unhealthy"`
 	Unknown   int          `json:"unknown"`
 	Rounds    int          `json:"rounds"`
+	// Ingest is the sharded ingestion path's latest sample; absent for
+	// fleets that never called RecordIngest (wire fleets, older runs).
+	Ingest *IngestStatus `json:"ingest,omitempty"`
 }
 
 // Status summarizes the fleet: "ok" when every known node is healthy,
@@ -302,6 +317,7 @@ type Tracker struct {
 	reg      *telemetry.Registry
 	admitWin *telemetry.Window
 	rounds   int
+	ingest   *IngestStatus
 }
 
 // NewTracker builds a tracker judging against slo (zero fields take
@@ -545,6 +561,22 @@ func (t *Tracker) exportLocked(nd *node, s NodeStatus) {
 	t.reg.Gauge("fleet_unknown_nodes").Set(float64(k))
 }
 
+// RecordIngest stores the latest ingestion-path sample: one queue depth
+// per shard plus the batcher's pending occupancy. Overwrites the
+// previous sample (this is a gauge, not a history). Safe for concurrent
+// use; no-op on a nil tracker.
+func (t *Tracker) RecordIngest(shardDepths []int, batchOccupancy int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ingest = &IngestStatus{
+		Shards:         append([]int(nil), shardDepths...),
+		BatchOccupancy: batchOccupancy,
+	}
+}
+
 // Node returns the current status of one node.
 func (t *Tracker) Node(id int) (NodeStatus, bool) {
 	if t == nil {
@@ -569,7 +601,7 @@ func (t *Tracker) Snapshot() FleetStatus {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := FleetStatus{Rounds: t.rounds, Nodes: make([]NodeStatus, 0, len(t.nodes))}
+	out := FleetStatus{Rounds: t.rounds, Nodes: make([]NodeStatus, 0, len(t.nodes)), Ingest: t.ingest}
 	for _, nd := range t.nodes {
 		s := t.statusLocked(nd)
 		s.verdict = nd.verdict

@@ -50,10 +50,13 @@ const (
 // Welcome pins the highest mutually supported version. Version 2 added
 // fleet membership: session epochs in Hello/Welcome, the heartbeat
 // frame, and the lease interval in NodeConfig — layout changes, so
-// version 1 peers are rejected at negotiation.
+// version 1 peers are rejected at negotiation. Version 3 appended
+// EvalSamples to NodeConfig (the scale fleets' shrunken post-deploy
+// evaluation) — another layout change, so version 2 peers are likewise
+// rejected.
 const (
-	ProtoMin uint8 = 2
-	ProtoMax uint8 = 2
+	ProtoMin uint8 = 3
+	ProtoMax uint8 = 3
 )
 
 // ErrCRC marks a frame whose checksum failed but whose framing fields

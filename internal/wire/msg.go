@@ -221,6 +221,9 @@ type NodeConfig struct {
 	// otherwise idle, in milliseconds. 0 = no heartbeats (the cloud runs
 	// without leases).
 	HeartbeatMs uint32
+	// EvalSamples is the node's post-deploy evaluation size (images per
+	// round). 0 = the paper-faithful 120; scale fleets shrink it.
+	EvalSamples uint32
 }
 
 func (c NodeConfig) encode(e *enc) {
@@ -240,6 +243,7 @@ func (c NodeConfig) encode(e *enc) {
 	c.Downlink.encode(e)
 	e.bool(c.Outage)
 	e.u32(c.HeartbeatMs)
+	e.u32(c.EvalSamples)
 }
 
 func decodeNodeConfig(d *dec) NodeConfig {
@@ -260,6 +264,7 @@ func decodeNodeConfig(d *dec) NodeConfig {
 		Downlink:          decodeFaultSpec(d),
 		Outage:            d.bool(),
 		HeartbeatMs:       d.u32(),
+		EvalSamples:       d.u32(),
 	}
 }
 

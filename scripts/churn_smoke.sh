@@ -17,27 +17,45 @@
 #      node DISCONNECTED, and the health plane (insitu-top over
 #      -health-out) must show it disconnected and unhealthy.
 #
-# Artifacts land in churn-smoke-work/ (not a tmpdir) so CI can upload
-# them on failure.
+# Scratch space is a fresh mktemp dir removed on exit. CI that wants the
+# artifacts on failure sets CHURN_SMOKE_WORK to a path it uploads; an
+# externally-named dir is left in place for collection.
+# INSITU_BIN_DIR, when set, names a dir of prebuilt race binaries
+# (insitu-fleet, insitu-cloud, insitu-node, insitu-proxy, insitu-top) so
+# CI builds them once across the smoke jobs.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-work=churn-smoke-work
-rm -rf "$work"
-mkdir -p "$work"
+if [[ -n "${CHURN_SMOKE_WORK:-}" ]]; then
+	work=$CHURN_SMOKE_WORK
+	keep_work=1
+	rm -rf "$work"
+	mkdir -p "$work"
+else
+	work=$(mktemp -d "${TMPDIR:-/tmp}/churn-smoke.XXXXXX")
+	keep_work=0
+fi
 pids=()
 cleanup() {
 	for p in "${pids[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done
+	((keep_work)) || rm -rf "$work"
 }
 trap cleanup EXIT
 
 port=$((21433 + RANDOM % 1000))
 pxport=$((port + 1000))
 
-echo "== build (race) =="
-go build -race -o "$work/" ./cmd/insitu-fleet ./cmd/insitu-cloud \
-	./cmd/insitu-node ./cmd/insitu-proxy ./cmd/insitu-top
+if [[ -n "${INSITU_BIN_DIR:-}" ]]; then
+	echo "== using prebuilt binaries from $INSITU_BIN_DIR =="
+	for b in insitu-fleet insitu-cloud insitu-node insitu-proxy insitu-top; do
+		install -m 0755 "$INSITU_BIN_DIR/$b" "$work/"
+	done
+else
+	echo "== build (race) =="
+	go build -race -o "$work/" ./cmd/insitu-fleet ./cmd/insitu-cloud \
+		./cmd/insitu-node ./cmd/insitu-proxy ./cmd/insitu-top
+fi
 
 # start_node VAR ID ADDR LOG — one reconnecting agent process; its pid
 # lands in VAR and in the cleanup list.

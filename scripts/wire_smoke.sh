@@ -16,6 +16,9 @@
 # Simulated link faults (-fault-rate/-uplink-fault-rate) stay on in every
 # leg: they are seeded node-side state, so they must replay identically no
 # matter which transport carries the rounds.
+#
+# INSITU_BIN_DIR, when set, names a dir of prebuilt race binaries so CI
+# builds them once across the smoke jobs.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,9 +36,16 @@ pxport=$((port + 1000))
 flags=(-nodes 2 -bootstrap 24 -rounds 8,8 -classes 4 -seed 7
 	-fault-rate 0.3 -uplink-fault-rate 0.2)
 
-echo "== build (race) =="
-go build -race -o "$work/" ./cmd/insitu-fleet ./cmd/insitu-cloud \
-	./cmd/insitu-node ./cmd/insitu-proxy
+if [[ -n "${INSITU_BIN_DIR:-}" ]]; then
+	echo "== using prebuilt binaries from $INSITU_BIN_DIR =="
+	for b in insitu-fleet insitu-cloud insitu-node insitu-proxy; do
+		install -m 0755 "$INSITU_BIN_DIR/$b" "$work/"
+	done
+else
+	echo "== build (race) =="
+	go build -race -o "$work/" ./cmd/insitu-fleet ./cmd/insitu-cloud \
+		./cmd/insitu-node ./cmd/insitu-proxy
+fi
 
 echo "== leg 1: in-process baseline =="
 "$work/insitu-fleet" "${flags[@]}" >"$work/base.out" 2>/dev/null
